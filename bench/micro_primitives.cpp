@@ -1,0 +1,117 @@
+// Micro-benchmarks for the substrate primitives the codecs are built on —
+// regressions here silently shift every figure, so they are pinned
+// separately: BitVector word ops, alias sampling, Fenwick updates,
+// Gaussian row reduction, BP reception.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "common/discrete_distribution.hpp"
+#include "common/fenwick.hpp"
+#include "common/rng.hpp"
+#include "gf2/gaussian.hpp"
+#include "lt/bp_decoder.hpp"
+#include "lt/lt_encoder.hpp"
+#include "lt/soliton.hpp"
+
+namespace {
+
+using namespace ltnc;
+
+void BM_BitVectorXor(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  BitVector a(bits);
+  BitVector b(bits);
+  for (std::size_t i = 0; i < bits / 8; ++i) {
+    a.set(rng.uniform(bits));
+    b.set(rng.uniform(bits));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.xor_with(b));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bits / 8));
+}
+BENCHMARK(BM_BitVectorXor)->Arg(512)->Arg(2048)->Arg(8192);
+
+void BM_BitVectorPopcountXor(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  BitVector a(bits);
+  BitVector b(bits);
+  for (std::size_t i = 0; i < bits / 8; ++i) {
+    a.set(rng.uniform(bits));
+    b.set(rng.uniform(bits));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.popcount_xor(b));
+  }
+}
+BENCHMARK(BM_BitVectorPopcountXor)->Arg(512)->Arg(2048)->Arg(8192);
+
+void BM_RobustSolitonSample(benchmark::State& state) {
+  const lt::RobustSoliton rs(static_cast<std::size_t>(state.range(0)));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.sample(rng));
+  }
+}
+BENCHMARK(BM_RobustSolitonSample)->Arg(512)->Arg(2048)->Arg(8192);
+
+void BM_FenwickAddQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Fenwick<std::int64_t> f(n);
+  Rng rng(4);
+  for (auto _ : state) {
+    f.add(rng.uniform(n), 1);
+    benchmark::DoNotOptimize(f.prefix_sum(rng.uniform(n)));
+  }
+}
+BENCHMARK(BM_FenwickAddQuery)->Arg(512)->Arg(2048)->Arg(8192);
+
+void BM_GaussianInsert(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  lt::LtEncoder enc(lt::make_native_payloads(k, 8, 5));
+  Rng rng(6);
+  std::vector<CodedPacket> stream;
+  for (std::size_t i = 0; i < 2 * k; ++i) stream.push_back(enc.encode(rng));
+  std::size_t i = 0;
+  gf2::OnlineGaussianSolver solver(k, 8);
+  for (auto _ : state) {
+    if (solver.complete() || i >= stream.size()) {
+      state.PauseTiming();
+      solver = gf2::OnlineGaussianSolver(k, 8);
+      i = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(solver.insert(stream[i++]));
+  }
+}
+BENCHMARK(BM_GaussianInsert)->Arg(512)->Arg(2048);
+
+void BM_BpReceive(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  lt::LtEncoder enc(lt::make_native_payloads(k, 8, 7));
+  Rng rng(8);
+  std::vector<CodedPacket> stream;
+  for (std::size_t i = 0; i < 3 * k; ++i) stream.push_back(enc.encode(rng));
+  std::size_t i = 0;
+  auto decoder = std::make_unique<lt::BpDecoder>(k, 8);
+  for (auto _ : state) {
+    if (decoder->complete() || i >= stream.size()) {
+      state.PauseTiming();
+      decoder = std::make_unique<lt::BpDecoder>(k, 8);
+      i = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(decoder->receive(stream[i++]));
+  }
+}
+BENCHMARK(BM_BpReceive)->Arg(512)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

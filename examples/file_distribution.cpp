@@ -1,0 +1,56 @@
+// File distribution à la Avalanche (paper §I, §IV): a file split into k
+// blocks is pushed epidemically from one seed to a swarm of peers. Runs
+// the same swarm under all three schemes and prints the dissemination
+// and CPU trade-off the paper is about: LTNC pays ~20 % more traffic but
+// decodes two orders of magnitude cheaper than RLNC.
+//
+//   ./build/examples/file_distribution [peers] [blocks]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "dissemination/simulation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ltnc;
+  using dissem::Scheme;
+
+  const std::size_t peers =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 100;
+  const std::size_t blocks =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 256;
+
+  dissem::SimConfig cfg;
+  cfg.num_nodes = peers;
+  cfg.k = blocks;
+  cfg.payload_bytes = 64;  // simulation payload; see DESIGN.md §1.3
+  cfg.seed = 7;
+  cfg.max_rounds = 200 * blocks;
+
+  std::cout << "Distributing a file of " << blocks << " blocks to " << peers
+            << " peers (push gossip, binary feedback channel)\n\n";
+
+  TextTable table({"scheme", "all peers done (rounds)", "overhead %",
+                   "decode ctrl ops/peer", "recode ctrl ops/peer",
+                   "verified"});
+  for (const Scheme scheme :
+       {Scheme::kWc, Scheme::kLtnc, Scheme::kRlnc}) {
+    const dissem::SimResult res = dissem::run_simulation(scheme, cfg);
+    const double n = static_cast<double>(peers);
+    table.add_row(
+        {dissem::scheme_name(scheme),
+         res.all_complete ? TextTable::integer(
+                                static_cast<long long>(res.rounds_run))
+                          : "did not finish",
+         TextTable::num(100 * res.overhead(), 1),
+         TextTable::num(
+             static_cast<double>(res.decode_ops.control_total()) / n, 0),
+         TextTable::num(
+             static_cast<double>(res.recode_ops.control_total()) / n, 0),
+         res.payloads_verified ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "\nLTNC trades a little traffic for a decode cost low enough "
+               "for sensor-class devices (paper's headline trade-off).\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: encode a buffer with LT codes, recode it through an
+// intermediary LTNC node without decoding, and recover it downstream with
+// belief propagation.
+//
+//   source --LT packets--> relay (LTNC recode) --fresh packets--> sink
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/ltnc_codec.hpp"
+#include "lt/lt_encoder.hpp"
+
+int main() {
+  using namespace ltnc;
+
+  // --- 1. Content: k native packets of m bytes -------------------------
+  constexpr std::size_t k = 64;   // number of native packets
+  constexpr std::size_t m = 256;  // bytes per packet
+  constexpr std::uint64_t content_seed = 2026;
+  std::vector<Payload> natives = lt::make_native_payloads(k, m, content_seed);
+
+  // --- 2. The source is a plain LT encoder ------------------------------
+  lt::LtEncoder source(lt::make_native_payloads(k, m, content_seed));
+  Rng rng(1);
+
+  // --- 3. A relay recodes with LTNC, a sink decodes with BP -------------
+  core::LtncConfig cfg;
+  cfg.k = k;
+  cfg.payload_bytes = m;
+  core::LtncCodec relay(cfg);
+  core::LtncCodec sink(cfg);
+
+  std::size_t source_packets = 0;
+  std::size_t relayed_packets = 0;
+  while (!sink.complete()) {
+    // The relay listens to the source…
+    relay.receive(source.encode(rng));
+    ++source_packets;
+    // …and pushes a *fresh* encoded packet (never a mere copy) downstream.
+    if (auto fresh = relay.recode(rng)) {
+      // The binary feedback channel: the sink refuses packets it can tell
+      // are useless, before the payload is transferred.
+      if (!sink.would_reject(fresh->coeffs)) {
+        sink.receive(*fresh);
+        ++relayed_packets;
+      }
+    }
+  }
+
+  // --- 4. Verify the recovered content ----------------------------------
+  std::size_t intact = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    intact += sink.native_payload(static_cast<NativeIndex>(i)) == natives[i];
+  }
+
+  std::cout << "content:          " << k << " packets x " << m << " B\n"
+            << "source emitted:   " << source_packets << " LT packets\n"
+            << "relay forwarded:  " << relayed_packets
+            << " fresh recoded packets (accepted by feedback)\n"
+            << "sink decoded:     " << sink.decoded_count() << "/" << k
+            << " natives, " << intact << " verified byte-exact\n"
+            << "decode cost:      " << sink.decode_ops().control_total()
+            << " control ops + " << sink.decode_ops().data_word_ops
+            << " payload word-XORs (belief propagation, no Gaussian"
+               " elimination)\n";
+  return intact == k ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// Sensor-network broadcast (the paper's motivating setting): a firmware
+// image is disseminated to a field of low-capability sensor nodes. What
+// matters there is the *decoding budget per node* — sensors cannot afford
+// RLNC's Gaussian elimination. This example disseminates with LTNC and
+// RLNC, then expresses each node's decode cost as time on a slow MCU-class
+// core to show why belief propagation is the enabler.
+//
+//   ./build/examples/sensor_broadcast [sensors] [packets]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "dissemination/simulation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ltnc;
+  using dissem::Scheme;
+
+  const std::size_t sensors =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 80;
+  const std::size_t k =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 256;
+
+  dissem::SimConfig cfg;
+  cfg.num_nodes = sensors;
+  cfg.k = k;
+  cfg.payload_bytes = 32;  // small frames, sensor-style
+  cfg.seed = 3;
+  cfg.max_rounds = 200 * k;
+  // Sensors snoop whatever reaches them; gossip-view sampling models the
+  // bounded neighbour tables of a real deployment.
+  cfg.sampler.kind = net::PeerSamplerConfig::Kind::kGossipView;
+  cfg.sampler.view_size = 12;
+
+  std::cout << "Broadcasting " << k << " packets to " << sensors
+            << " sensor nodes (bounded neighbour views)\n\n";
+
+  // A generous MCU-class budget: ~10 M simple ops per second.
+  constexpr double kMcuOpsPerSecond = 1e7;
+
+  TextTable table({"scheme", "rounds", "decode ops/node",
+                   "MCU decode time", "verified"});
+  for (const Scheme scheme : {Scheme::kLtnc, Scheme::kRlnc}) {
+    const dissem::SimResult res = dissem::run_simulation(scheme, cfg);
+    const double ops_per_node =
+        (static_cast<double>(res.decode_ops.control_total()) +
+         static_cast<double>(res.decode_ops.data_word_ops)) /
+        static_cast<double>(sensors);
+    table.add_row(
+        {dissem::scheme_name(scheme),
+         res.all_complete
+             ? TextTable::integer(static_cast<long long>(res.rounds_run))
+             : "did not finish",
+         TextTable::num(ops_per_node, 0),
+         TextTable::num(ops_per_node / kMcuOpsPerSecond, 2) + " s",
+         res.payloads_verified ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "\nBelief propagation keeps the per-sensor decode budget "
+               "milliseconds-scale; Gaussian elimination does not.\n";
+  return 0;
+}

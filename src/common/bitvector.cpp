@@ -1,0 +1,105 @@
+#include "common/bitvector.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace ltnc {
+
+std::size_t BitVector::xor_with(const BitVector& other) {
+  LTNC_CHECK_MSG(bits_ == other.bits_, "BitVector size mismatch in xor_with");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] ^= other.words_[i];
+  }
+  return words_.size();
+}
+
+std::size_t BitVector::popcount() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::size_t BitVector::popcount_xor(const BitVector& other) const {
+  LTNC_CHECK_MSG(bits_ == other.bits_,
+                 "BitVector size mismatch in popcount_xor");
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  }
+  return n;
+}
+
+std::size_t BitVector::subtract(const BitVector& other) {
+  LTNC_CHECK_MSG(bits_ == other.bits_, "BitVector size mismatch in subtract");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= ~other.words_[i];
+  }
+  return words_.size();
+}
+
+std::size_t BitVector::popcount_and_not(const BitVector& other) const {
+  LTNC_CHECK_MSG(bits_ == other.bits_,
+                 "BitVector size mismatch in popcount_and_not");
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<std::size_t>(std::popcount(words_[i] & ~other.words_[i]));
+  }
+  return n;
+}
+
+bool BitVector::any() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+std::size_t BitVector::first_set() const { return next_set(0); }
+
+std::size_t BitVector::next_set(std::size_t from) const {
+  if (from >= bits_) return npos;
+  std::size_t w = from >> 6;
+  std::uint64_t word = words_[w] & (~0ULL << (from & 63));
+  while (true) {
+    if (word != 0) {
+      return w * 64 + static_cast<std::size_t>(__builtin_ctzll(word));
+    }
+    if (++w == words_.size()) return npos;
+    word = words_[w];
+  }
+}
+
+std::vector<std::size_t> BitVector::indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(8);
+  for_each_set([&](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+std::uint64_t BitVector::hash() const {
+  // FNV-1a over words, finished with a splitmix-style avalanche.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint64_t w : words_) {
+    h ^= w;
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+std::string BitVector::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for_each_set([&](std::size_t i) {
+    if (!first) os << ',';
+    os << i;
+    first = false;
+  });
+  os << '}';
+  return os.str();
+}
+
+}  // namespace ltnc

@@ -1,0 +1,146 @@
+// Dense bit vector over GF(2).
+//
+// BitVector is the code-vector representation used throughout the library:
+// an encoded packet's coefficients over the k native packets. The hot
+// operations — XOR, popcount, popcount-of-XOR — are word-parallel over
+// 64-bit limbs, matching the paper's observation that linear coding over
+// GF(2) "consists only in xor operations".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ltnc {
+
+class BitVector {
+ public:
+  /// Creates an all-zero vector of `bits` bits.
+  explicit BitVector(std::size_t bits = 0)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  /// Creates a vector of `bits` bits with exactly one bit set.
+  static BitVector unit(std::size_t bits, std::size_t index) {
+    BitVector v(bits);
+    v.set(index);
+    return v;
+  }
+
+  /// Creates a vector from a list of set-bit indices.
+  static BitVector from_indices(std::size_t bits,
+                                const std::vector<std::size_t>& indices) {
+    BitVector v(bits);
+    for (std::size_t i : indices) v.set(i);
+    return v;
+  }
+
+  std::size_t size() const { return bits_; }
+  std::size_t word_count() const { return words_.size(); }
+
+  bool test(std::size_t i) const {
+    LTNC_DCHECK(i < bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::size_t i, bool value = true) {
+    LTNC_DCHECK(i < bits_);
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  void flip(std::size_t i) {
+    LTNC_DCHECK(i < bits_);
+    words_[i >> 6] ^= 1ULL << (i & 63);
+  }
+
+  void clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// In-place GF(2) addition. Both operands must have the same size.
+  /// Returns the number of 64-bit word operations performed (for cost
+  /// accounting in the control-plane benchmarks).
+  std::size_t xor_with(const BitVector& other);
+
+  BitVector operator^(const BitVector& other) const {
+    BitVector r = *this;
+    r.xor_with(other);
+    return r;
+  }
+
+  /// Number of set bits — the packet's degree.
+  std::size_t popcount() const;
+
+  /// popcount(*this ^ other) without materialising the XOR. This is the
+  /// degree a packet would have after combining — used by Algorithm 1 to
+  /// test candidate combinations without allocation.
+  std::size_t popcount_xor(const BitVector& other) const;
+
+  /// In-place set difference: clears every bit that is set in `other`
+  /// (this &= ~other). Used to strip decoded natives from an incoming code
+  /// vector. Returns word operations performed.
+  std::size_t subtract(const BitVector& other);
+
+  /// popcount(*this & ~other): the degree an incoming vector would have
+  /// after the decoded natives in `other` are stripped (feedback-channel
+  /// evaluation without materialising a copy).
+  std::size_t popcount_and_not(const BitVector& other) const;
+
+  bool any() const;
+  bool none() const { return !any(); }
+
+  /// Index of the lowest set bit, or npos if none.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t first_set() const;
+
+  /// Index of the lowest set bit at position >= from, or npos.
+  std::size_t next_set(std::size_t from) const;
+
+  /// Invokes fn(index) for every set bit, in increasing index order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Returns the indices of all set bits.
+  std::vector<std::size_t> indices() const;
+
+  bool operator==(const BitVector& other) const {
+    return bits_ == other.bits_ && words_ == other.words_;
+  }
+  bool operator!=(const BitVector& other) const { return !(*this == other); }
+
+  /// 64-bit mixing hash over the words (for hash-set membership of
+  /// low-degree packets in the redundancy detector).
+  std::uint64_t hash() const;
+
+  /// "{0,3,7}" style debug representation.
+  std::string to_string() const;
+
+  const std::uint64_t* words() const { return words_.data(); }
+
+ private:
+  std::size_t bits_;
+  std::vector<std::uint64_t> words_;
+};
+
+struct BitVectorHash {
+  std::size_t operator()(const BitVector& v) const {
+    return static_cast<std::size_t>(v.hash());
+  }
+};
+
+}  // namespace ltnc

@@ -1,0 +1,41 @@
+// Assertion helpers for the LTNC library.
+//
+// LTNC_CHECK   — always-on precondition check; throws std::logic_error so
+//                API misuse is detected in release builds too (per C++ Core
+//                Guidelines I.5/I.6 the library states its preconditions).
+// LTNC_DCHECK  — debug-only invariant check for hot paths; compiles to
+//                nothing when NDEBUG is defined.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ltnc::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw std::logic_error(std::string("LTNC_CHECK failed: ") + expr + " at " +
+                         file + ":" + std::to_string(line) +
+                         (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace ltnc::detail
+
+#define LTNC_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::ltnc::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define LTNC_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::ltnc::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define LTNC_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define LTNC_DCHECK(expr) LTNC_CHECK(expr)
+#endif

@@ -1,0 +1,5 @@
+#include "common/coded_packet.hpp"
+
+// CodedPacket is header-only today; this translation unit anchors the
+// library target and keeps a stable home for future out-of-line members.
+namespace ltnc {}

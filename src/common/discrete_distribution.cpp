@@ -1,0 +1,56 @@
+#include "common/discrete_distribution.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace ltnc {
+
+DiscreteDistribution::DiscreteDistribution(
+    const std::vector<double>& weights) {
+  LTNC_CHECK_MSG(!weights.empty(), "empty weight vector");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  LTNC_CHECK_MSG(total > 0.0, "weights must sum to a positive value");
+
+  const std::size_t n = weights.size();
+  normalized_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    LTNC_CHECK_MSG(weights[i] >= 0.0, "negative weight");
+    normalized_[i] = weights[i] / total;
+  }
+
+  // Walker/Vose alias construction: partition indices into those whose
+  // scaled probability is below/above 1 and pair them up.
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  std::vector<std::size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::size_t i : large) probability_[i] = 1.0;
+  for (std::size_t i : small) probability_[i] = 1.0;  // numerical leftovers
+}
+
+std::size_t DiscreteDistribution::sample(Rng& rng) const {
+  LTNC_DCHECK(!probability_.empty());
+  const std::size_t column = rng.uniform(probability_.size());
+  return rng.uniform_double() < probability_[column] ? column : alias_[column];
+}
+
+}  // namespace ltnc

@@ -1,0 +1,39 @@
+// Discrete sampling via Walker's alias method.
+//
+// LT codes draw one degree per encoded packet from the Robust Soliton
+// distribution; the alias method makes that O(1) per sample after O(n)
+// preprocessing, which matters because LTNC re-draws on every recode (and
+// retries when a degree is classified unreachable).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ltnc {
+
+class DiscreteDistribution {
+ public:
+  DiscreteDistribution() = default;
+
+  /// Builds the sampler from (unnormalised, non-negative) weights.
+  /// At least one weight must be positive.
+  explicit DiscreteDistribution(const std::vector<double>& weights);
+
+  /// Samples an index in [0, size()) proportionally to its weight.
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return probability_.size(); }
+  bool empty() const { return probability_.empty(); }
+
+  /// Normalised probability of index i (for tests and for printing Fig. 2).
+  double probability_of(std::size_t i) const { return normalized_[i]; }
+
+ private:
+  std::vector<double> probability_;  ///< alias-table acceptance thresholds
+  std::vector<std::size_t> alias_;
+  std::vector<double> normalized_;
+};
+
+}  // namespace ltnc

@@ -1,0 +1,58 @@
+// Fenwick (binary indexed) tree over a fixed-size array of counters.
+//
+// Used by the LTNC degree picker to evaluate the two reachability bounds of
+// §III-B.1 in O(log k): one tree carries i·n(i) (weighted packet-degree
+// histogram), another carries the histogram of per-native minimum available
+// degree (coverage bound).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ltnc {
+
+template <typename T>
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t size = 0) : tree_(size + 1, T{}) {}
+
+  std::size_t size() const { return tree_.size() - 1; }
+
+  void resize(std::size_t size) { tree_.assign(size + 1, T{}); }
+
+  /// Adds `delta` at 0-based position `index`.
+  void add(std::size_t index, T delta) {
+    LTNC_DCHECK(index < size());
+    for (std::size_t i = index + 1; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  /// Sum of positions [0, index] (0-based, inclusive).
+  T prefix_sum(std::size_t index) const {
+    if (tree_.size() <= 1) return T{};
+    if (index >= size()) index = size() - 1;
+    T sum{};
+    for (std::size_t i = index + 1; i > 0; i -= i & (~i + 1)) {
+      sum += tree_[i];
+    }
+    return sum;
+  }
+
+  T total() const { return size() == 0 ? T{} : prefix_sum(size() - 1); }
+
+  /// Sum over [lo, hi] inclusive, 0-based.
+  T range_sum(std::size_t lo, std::size_t hi) const {
+    if (lo > hi) return T{};
+    T high = prefix_sum(hi);
+    if (lo == 0) return high;
+    return high - prefix_sum(lo - 1);
+  }
+
+ private:
+  std::vector<T> tree_;
+};
+
+}  // namespace ltnc

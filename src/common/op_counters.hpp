@@ -1,0 +1,43 @@
+// Architecture-neutral cost accounting.
+//
+// The paper (Fig. 8) separates the cost of operations on *control*
+// structures (code vectors, Tanner graph / code matrix bookkeeping) from
+// operations on *data* (payload XORs). Every codec in this library charges
+// its work to an OpCounters instance so the benchmarks can report both
+// measured wall time and exact operation counts.
+#pragma once
+
+#include <cstdint>
+
+namespace ltnc {
+
+struct OpCounters {
+  /// 64-bit word operations on code vectors and GF(2) matrix rows.
+  std::uint64_t control_word_ops = 0;
+  /// Structure bookkeeping steps: Tanner-graph edge updates, heap/index
+  /// operations, union-find steps. One unit ≈ one pointer-chasing step.
+  std::uint64_t control_steps = 0;
+  /// 64-bit word operations on payload data.
+  std::uint64_t data_word_ops = 0;
+  /// Number of operations performed (recodes, decodes, receives) — the
+  /// denominator for per-op averages.
+  std::uint64_t invocations = 0;
+
+  double data_bytes() const { return static_cast<double>(data_word_ops) * 8.0; }
+  /// Total control units (word ops + steps) — the paper's "control" plane.
+  std::uint64_t control_total() const {
+    return control_word_ops + control_steps;
+  }
+
+  OpCounters& operator+=(const OpCounters& o) {
+    control_word_ops += o.control_word_ops;
+    control_steps += o.control_steps;
+    data_word_ops += o.data_word_ops;
+    invocations += o.invocations;
+    return *this;
+  }
+
+  void reset() { *this = OpCounters{}; }
+};
+
+}  // namespace ltnc

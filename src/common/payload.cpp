@@ -1,0 +1,33 @@
+#include "common/payload.hpp"
+
+namespace ltnc {
+
+Payload Payload::deterministic(std::size_t bytes, std::uint64_t seed,
+                               std::size_t index) {
+  Payload p(bytes);
+  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  for (auto& w : p.words_) w = sm.next();
+  // Mask the tail so equality is well defined for non-multiple-of-8 sizes.
+  const std::size_t tail = bytes % 8;
+  if (tail != 0 && !p.words_.empty()) {
+    p.words_.back() &= (~0ULL >> ((8 - tail) * 8));
+  }
+  return p;
+}
+
+std::size_t Payload::xor_with(const Payload& other) {
+  LTNC_CHECK_MSG(bytes_ == other.bytes_, "Payload size mismatch in xor_with");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] ^= other.words_[i];
+  }
+  return words_.size();
+}
+
+bool Payload::is_zero() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace ltnc

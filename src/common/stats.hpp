@@ -1,0 +1,67 @@
+// Streaming statistics used by the evaluation harness.
+//
+// RunningStats implements Welford's online algorithm; Histogram buckets
+// integer observations (e.g. packet degrees). Both are cheap enough to be
+// left enabled inside the codecs, which is how the paper's in-text
+// statistics (degree-retry rate, occurrence variance, …) are collected.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ltnc {
+
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  /// stddev / mean — the paper's "relative standard deviation" (§III-B.3).
+  double relative_stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+  void merge(const RunningStats& other);
+  void reset() { *this = RunningStats(); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::size_t buckets = 0) : counts_(buckets, 0) {}
+
+  void add(std::size_t bucket);
+
+  std::size_t buckets() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bucket) const {
+    return bucket < counts_.size() ? counts_[bucket] : 0;
+  }
+  std::uint64_t total() const { return total_; }
+  double fraction(std::size_t bucket) const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(count(bucket)) /
+                             static_cast<double>(total_);
+  }
+  double mean() const;
+
+  void reset();
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ltnc

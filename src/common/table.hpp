@@ -1,0 +1,39 @@
+// Aligned text tables for benchmark output.
+//
+// Every figure/table bench prints its series through TextTable so the rows
+// the paper reports can be regenerated (and optionally exported as CSV for
+// plotting).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ltnc {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; cells are preformatted strings.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 2);
+  static std::string integer(long long value);
+
+  /// Writes an aligned, boxed table.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (no quoting beyond commas, which we forbid).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ltnc

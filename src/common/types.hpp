@@ -1,0 +1,19 @@
+// Shared index types.
+#pragma once
+
+#include <cstdint>
+
+namespace ltnc {
+
+/// Index of a native packet, 0 ≤ NativeIndex < k.
+using NativeIndex = std::uint32_t;
+
+/// Handle to a stored encoded packet inside a node's packet store.
+using PacketId = std::uint32_t;
+
+inline constexpr PacketId kInvalidPacket = static_cast<PacketId>(-1);
+
+/// Identifier of a node in the dissemination network.
+using NodeId = std::uint32_t;
+
+}  // namespace ltnc

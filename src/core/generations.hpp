@@ -1,0 +1,84 @@
+// Generations over LTNC (paper §I: "Since LTNC are linear network codes,
+// traditional optimizations (e.g., generations [2], [13]) … can be
+// directly applied").
+//
+// A content of K blocks is split into G generations of k = K/G blocks
+// each; every generation is an independent LTNC instance. Packets combine
+// blocks of a single generation only, so code vectors shrink from K to
+// K/G bits and every per-packet control cost (degree bookkeeping, belief
+// propagation, redundancy checks) drops accordingly — the classic
+// Avalanche trade-off of header size and coding delay versus mixing power.
+//
+// The wire format is (generation id, code vector within generation,
+// payload); recoding picks the generation the node can currently help
+// with most (fewest of its own packets relative to k, among non-empty
+// holdings), which keeps the generations progressing evenly without any
+// coordination.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/coded_packet.hpp"
+#include "common/op_counters.hpp"
+#include "common/rng.hpp"
+#include "core/ltnc_codec.hpp"
+
+namespace ltnc::core {
+
+/// A coded packet scoped to one generation.
+struct GenerationPacket {
+  std::uint32_t generation = 0;
+  CodedPacket packet;
+
+  std::size_t wire_bytes() const {
+    return sizeof(std::uint32_t) + packet.wire_bytes();
+  }
+};
+
+struct GenerationConfig {
+  std::size_t total_blocks = 0;  ///< K
+  std::size_t generations = 1;   ///< G (must divide K)
+  std::size_t payload_bytes = 0;
+  LtncConfig ltnc{};  ///< per-generation options (k is filled in)
+};
+
+class GenerationedLtnc {
+ public:
+  explicit GenerationedLtnc(const GenerationConfig& config);
+
+  std::size_t total_blocks() const { return cfg_.total_blocks; }
+  std::size_t generations() const { return codecs_.size(); }
+  std::size_t blocks_per_generation() const { return per_gen_; }
+
+  lt::ReceiveResult receive(const GenerationPacket& packet);
+  bool would_reject(std::uint32_t generation, const BitVector& coeffs) const;
+
+  /// Recodes a fresh packet from the generation where this node's help is
+  /// currently scarcest (non-empty, incomplete generations first).
+  std::optional<GenerationPacket> recode(Rng& rng);
+
+  std::size_t decoded_count() const;
+  bool complete() const;
+  /// Payload of global block index ∈ [0, K).
+  const Payload& block_payload(std::size_t index) const;
+
+  const LtncCodec& codec(std::size_t generation) const {
+    return *codecs_[generation];
+  }
+
+  OpCounters decode_ops() const;
+  OpCounters recode_ops() const;
+
+ private:
+  std::uint32_t pick_generation(Rng& rng) const;
+
+  GenerationConfig cfg_;
+  std::size_t per_gen_;
+  std::vector<std::unique_ptr<LtncCodec>> codecs_;
+};
+
+}  // namespace ltnc::core

@@ -1,0 +1,5 @@
+#include "core/occurrences.hpp"
+
+// OccurrenceTracker is header-only today; this translation unit anchors the
+// target.
+namespace ltnc::core {}

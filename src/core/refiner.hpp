@@ -1,0 +1,38 @@
+// Refining an encoded packet (paper §III-B.3, Algorithm 2).
+//
+// After building, the packet's natives may be over-represented in the
+// node's sending history, which skews the native-degree distribution away
+// from the Dirac that belief propagation needs. Refinement walks the
+// packet's natives and substitutes each with the least-frequent equivalent
+// native (x ∼ x', i.e. x ⊕ x' is generable from degree-≤2 holdings) that is
+// strictly less frequent and not already in the packet. Substituting
+// (adding x ⊕ x') never changes the packet's degree.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/coded_packet.hpp"
+#include "common/op_counters.hpp"
+#include "core/components.hpp"
+#include "core/occurrences.hpp"
+
+namespace ltnc::core {
+
+class Refiner {
+ public:
+  Refiner(const ComponentTracker& components, const OccurrenceTracker& occurrences);
+
+  /// Applies Algorithm 2 to z in place; returns the number of
+  /// substitutions performed.
+  std::size_t refine(CodedPacket& z, OpCounters& ops);
+
+  std::uint64_t substitutions_total() const { return substitutions_total_; }
+
+ private:
+  const ComponentTracker& components_;
+  const OccurrenceTracker& occurrences_;
+  std::uint64_t substitutions_total_ = 0;
+};
+
+}  // namespace ltnc::core

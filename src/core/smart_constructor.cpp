@@ -1,0 +1,73 @@
+#include "core/smart_constructor.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace ltnc::core {
+
+SmartConstructor::SmartConstructor(const lt::BpDecoder& store,
+                                   const ComponentTracker& components)
+    : store_(store), components_(components) {}
+
+std::optional<CodedPacket> SmartConstructor::construct_degree1(
+    const std::vector<std::uint32_t>& receiver_cc, Rng& rng,
+    OpCounters& ops) const {
+  LTNC_CHECK_MSG(receiver_cc.size() == store_.k(), "cc array width mismatch");
+  const auto& decoded = store_.decoded_order();
+  if (decoded.empty()) return std::nullopt;
+  // Scan from a random offset so repeated calls spread over candidates.
+  const std::size_t n = decoded.size();
+  const std::size_t start = rng.uniform(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const NativeIndex x = decoded[(start + t) % n];
+    ops.control_steps += 1;
+    if (receiver_cc[x] != 0) {  // not decoded at the receiver: innovative
+      return CodedPacket::native(store_.k(), x, store_.native_payload(x));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<CodedPacket> SmartConstructor::construct_degree2(
+    const std::vector<std::uint32_t>& receiver_cc, Rng& rng,
+    OpCounters& ops) const {
+  LTNC_CHECK_MSG(receiver_cc.size() == store_.k(), "cc array width mismatch");
+  const std::size_t k = store_.k();
+
+  // σ: sender component -> (receiver component, witness native). Sender
+  // leaders range over [0, k]; entry .first == kUnset means unvisited.
+  constexpr std::uint32_t kUnset = static_cast<std::uint32_t>(-1);
+  std::vector<std::pair<std::uint32_t, NativeIndex>> sigma(
+      k + 1, {kUnset, 0});
+
+  // Visit natives in random order (Algorithm 4 processes them randomly).
+  std::vector<NativeIndex> order(k);
+  for (std::size_t i = 0; i < k; ++i) order[i] = static_cast<NativeIndex>(i);
+  for (std::size_t t = 0; t < k; ++t) {
+    const std::size_t j = t + rng.uniform(k - t);
+    std::swap(order[t], order[j]);
+    const NativeIndex xi = order[t];
+    ops.control_steps += 1;
+
+    const std::uint32_t cs = components_.cc(xi);
+    auto& slot = sigma[cs];
+    if (slot.first == kUnset) {
+      slot = {receiver_cc[xi], xi};  // first visit of this sender component
+      continue;
+    }
+    if (slot.first != receiver_cc[xi]) {
+      // One sender component overlaps two receiver components: x ⊕ xi is
+      // generable here and innovative there.
+      const NativeIndex x = slot.second;
+      Payload bridge = components_.materialize(x, xi, ops);
+      BitVector coeffs(k);
+      coeffs.set(x);
+      coeffs.set(xi);
+      return CodedPacket(std::move(coeffs), std::move(bridge));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ltnc::core

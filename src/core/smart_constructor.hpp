@@ -1,0 +1,48 @@
+// "Smart" packet construction over a feedback channel (paper §III-C.2,
+// Algorithm 4).
+//
+// When the receiver can ship its connected-components representation cc_r
+// to the sender, the sender can construct a low-degree packet that is
+// *guaranteed* innovative for the receiver instead of hoping:
+//   degree 1: any native decoded at the sender but not at the receiver;
+//   degree 2: natives x, x' connected at the sender (cc_s(x) = cc_s(x'))
+//             but not at the receiver (cc_r(x) ≠ cc_r(x')) — found by
+//             building a mapping σ from sender components to receiver
+//             components and flagging the first inconsistency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/coded_packet.hpp"
+#include "common/op_counters.hpp"
+#include "common/rng.hpp"
+#include "core/components.hpp"
+#include "lt/bp_decoder.hpp"
+
+namespace ltnc::core {
+
+class SmartConstructor {
+ public:
+  SmartConstructor(const lt::BpDecoder& store,
+                   const ComponentTracker& components);
+
+  /// Degree-1 case: a native decoded here and not at the receiver.
+  /// `receiver_cc` is the receiver's leader array (0 = decoded there).
+  std::optional<CodedPacket> construct_degree1(
+      const std::vector<std::uint32_t>& receiver_cc, Rng& rng,
+      OpCounters& ops) const;
+
+  /// Degree-2 case: Algorithm 4. Natives are visited in random order.
+  std::optional<CodedPacket> construct_degree2(
+      const std::vector<std::uint32_t>& receiver_cc, Rng& rng,
+      OpCounters& ops) const;
+
+ private:
+  const lt::BpDecoder& store_;
+  const ComponentTracker& components_;
+};
+
+}  // namespace ltnc::core

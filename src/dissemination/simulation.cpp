@@ -1,0 +1,262 @@
+#include "dissemination/simulation.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace ltnc::dissem {
+
+double SimResult::mean_completion() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t r : completion_round) {
+    if (r <= rounds_run) {
+      sum += static_cast<double>(r);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double SimResult::overhead() const {
+  double extra = 0.0;
+  std::size_t n = 0;
+  for (std::size_t node = 0; node < completion_round.size(); ++node) {
+    if (completion_round[node] > rounds_run) continue;  // never completed
+    const double receptions =
+        static_cast<double>(payload_receptions[node]);
+    extra += receptions / static_cast<double>(config.k) - 1.0;
+    ++n;
+  }
+  return n == 0 ? 0.0 : extra / static_cast<double>(n);
+}
+
+ProtocolParams EpidemicSimulation::protocol_params() const {
+  ProtocolParams params;
+  params.k = cfg_.k;
+  params.payload_bytes = cfg_.payload_bytes;
+  params.aggressiveness = cfg_.aggressiveness;
+  params.ltnc = cfg_.ltnc;
+  params.rlnc = cfg_.rlnc;
+  params.wc = cfg_.wc;
+  return params;
+}
+
+EpidemicSimulation::EpidemicSimulation(Scheme scheme, const SimConfig& config)
+    : scheme_(scheme), cfg_(config), rng_(config.seed) {
+  LTNC_CHECK_MSG(config.num_nodes >= 2, "need at least two nodes");
+  LTNC_CHECK_MSG(config.k >= 1, "k must be positive");
+
+  source_ = make_source(scheme, cfg_.k, cfg_.payload_bytes, cfg_.content_seed,
+                        cfg_.ltnc.soliton);
+
+  nodes_.reserve(cfg_.num_nodes);
+  for (std::size_t n = 0; n < cfg_.num_nodes; ++n) {
+    nodes_.push_back(make_node(scheme, protocol_params()));
+  }
+  sampler_ = net::make_sampler(cfg_.sampler, cfg_.num_nodes, rng_);
+
+  schedule_.resize(cfg_.num_nodes);
+  for (NodeId n = 0; n < cfg_.num_nodes; ++n) schedule_[n] = n;
+
+  completion_round_.assign(cfg_.num_nodes, cfg_.max_rounds + 1);
+  payload_receptions_.assign(cfg_.num_nodes, 0);
+}
+
+bool EpidemicSimulation::attempt_transfer(const CodedPacket& packet,
+                                          NodeId target) {
+  NodeProtocol& receiver = *nodes_[target];
+  ++traffic_.attempts;
+  // The code vector rides in the header and is always paid for.
+  traffic_.header_bytes += (cfg_.k + 7) / 8;
+  if (cfg_.feedback != FeedbackMode::kNone &&
+      receiver.would_reject(packet.coeffs)) {
+    ++traffic_.aborted;
+    return false;
+  }
+  if (cfg_.loss_rate > 0.0 && rng_.chance(cfg_.loss_rate)) {
+    ++traffic_.lost;
+    return false;
+  }
+  traffic_.payload_bytes += cfg_.payload_bytes;
+  ++traffic_.payload_transfers;
+  ++payload_receptions_[target];
+  receiver.deliver(packet);
+  after_transfer(target);
+
+  // Wireless broadcast medium: bystanders snoop the transfer for free and
+  // keep it when it is innovative for them (COPE-style, §III-C.2).
+  for (std::size_t o = 0; o < cfg_.overhear_count; ++o) {
+    const auto bystander =
+        static_cast<NodeId>(rng_.uniform(cfg_.num_nodes));
+    if (bystander == target) continue;
+    NodeProtocol& listener = *nodes_[bystander];
+    if (listener.would_reject(packet.coeffs)) continue;
+    ++overheard_useful_;
+    ++payload_receptions_[bystander];
+    listener.deliver(packet);
+    after_transfer(bystander);
+  }
+  return true;
+}
+
+void EpidemicSimulation::after_transfer(NodeId target) {
+  if (completion_round_[target] > cfg_.max_rounds &&
+      nodes_[target]->complete()) {
+    completion_round_[target] = round_;
+    ++complete_count_;
+  }
+}
+
+void EpidemicSimulation::node_push(NodeId sender) {
+  NodeProtocol& node = *nodes_[sender];
+  if (!node.can_emit()) return;
+
+  const NodeId target = sampler_->sample(rng_, sender);
+  std::optional<CodedPacket> packet;
+  if (cfg_.feedback == FeedbackMode::kSmart) {
+    // Full feedback channel: the receiver ships its cc array first.
+    const auto* receiver_cc = nodes_[target]->component_leaders();
+    if (receiver_cc != nullptr) {
+      traffic_.feedback_bytes += receiver_cc->size() * sizeof(std::uint32_t);
+      packet = node.emit_for(*receiver_cc, rng_);
+    } else {
+      packet = node.emit(rng_);
+    }
+  } else {
+    packet = node.emit(rng_);
+  }
+  if (!packet.has_value()) return;
+  attempt_transfer(*packet, target);
+}
+
+void EpidemicSimulation::churn_one_node() {
+  // A random node crashes and is replaced by a blank one (same id, fresh
+  // state). If it had completed, the completion count must roll back.
+  const auto victim = static_cast<NodeId>(rng_.uniform(cfg_.num_nodes));
+  if (completion_round_[victim] <= cfg_.max_rounds) {
+    --complete_count_;
+    completion_round_[victim] = cfg_.max_rounds + 1;
+  }
+  payload_receptions_[victim] = 0;
+  nodes_[victim] = make_node(scheme_, protocol_params());
+  ++churned_count_;
+}
+
+void EpidemicSimulation::step() {
+  ++round_;
+  sampler_->tick(rng_);
+  if (cfg_.churn_rate > 0.0 && rng_.chance(cfg_.churn_rate)) {
+    churn_one_node();
+  }
+
+  // Source injection.
+  for (std::size_t i = 0; i < cfg_.source_pushes_per_round; ++i) {
+    const auto target = static_cast<NodeId>(rng_.uniform(cfg_.num_nodes));
+    const CodedPacket packet = source_->next(rng_);
+    attempt_transfer(packet, target);
+  }
+
+  // Node pushes, in a fresh random order each period.
+  for (std::size_t t = 0; t + 1 < schedule_.size(); ++t) {
+    const std::size_t j = t + rng_.uniform(schedule_.size() - t);
+    std::swap(schedule_[t], schedule_[j]);
+  }
+  for (std::size_t p = 0; p < cfg_.node_pushes_per_round; ++p) {
+    for (const NodeId sender : schedule_) node_push(sender);
+  }
+
+  convergence_trace_.push_back(static_cast<double>(complete_count_) /
+                               static_cast<double>(nodes_.size()));
+}
+
+SimResult EpidemicSimulation::run() {
+  while (round_ < cfg_.max_rounds &&
+         !(cfg_.stop_when_complete && all_complete())) {
+    step();
+  }
+  return finalise();
+}
+
+SimResult EpidemicSimulation::finalise() {
+  SimResult result;
+  result.scheme = scheme_;
+  result.config = cfg_;
+  result.rounds_run = round_;
+  result.nodes_complete = complete_count_;
+  result.nodes_churned = churned_count_;
+  result.all_complete = all_complete();
+  result.completion_round = completion_round_;
+  result.convergence_trace = convergence_trace_;
+  result.payload_receptions = payload_receptions_;
+  result.traffic = traffic_;
+  result.overheard_useful = overheard_useful_;
+
+  for (const auto& node : nodes_) {
+    if (cfg_.verify_payloads && node->complete()) {
+      // RLNC pays its back-substitution here, so decode costs include it.
+      result.payloads_verified &=
+          node->finish_and_verify(cfg_.content_seed);
+    }
+    result.decode_ops += node->decode_ops();
+    result.recode_ops += node->recode_ops();
+  }
+
+  if (scheme_ == Scheme::kLtnc) {
+    for (const auto& node : nodes_) {
+      const auto& proto = static_cast<const LtncProtocol&>(*node);
+      const auto& codec = proto.codec();
+      const auto& s = codec.stats();
+      result.ltnc_stats.receives += s.receives;
+      result.ltnc_stats.duplicates += s.duplicates;
+      result.ltnc_stats.redundant_rejected += s.redundant_rejected;
+      result.ltnc_stats.decoded_on_arrival += s.decoded_on_arrival;
+      result.ltnc_stats.stored += s.stored;
+      result.ltnc_stats.dropped_during_decode += s.dropped_during_decode;
+      result.ltnc_stats.recodes += s.recodes;
+      result.ltnc_stats.recode_failures += s.recode_failures;
+      result.ltnc_stats.smart_degree1 += s.smart_degree1;
+      result.ltnc_stats.smart_degree2 += s.smart_degree2;
+      result.ltnc_stats.substitutions += s.substitutions;
+
+      const auto& d = codec.degree_stats();
+      result.ltnc_degree_stats.picks += d.picks;
+      result.ltnc_degree_stats.first_accepted += d.first_accepted;
+      result.ltnc_degree_stats.retries_total += d.retries_total;
+      result.ltnc_degree_stats.exhausted += d.exhausted;
+
+      const auto& b = codec.build_stats();
+      result.ltnc_build_stats.builds += b.builds;
+      result.ltnc_build_stats.reached_target += b.reached_target;
+      result.ltnc_build_stats.relative_deviation.merge(b.relative_deviation);
+
+      result.ltnc_redundancy_checks += codec.redundancy().checks();
+      result.ltnc_redundancy_hits += codec.redundancy().hits();
+    }
+    // Occurrence balance is a system-wide property (the paper reports one
+    // relative-σ number): aggregate the counts over all senders first.
+    std::vector<std::uint64_t> total_occurrences(cfg_.k, 0);
+    for (const auto& node : nodes_) {
+      const auto& proto = static_cast<const LtncProtocol&>(*node);
+      const auto& counts = proto.codec().occurrences().counts();
+      for (std::size_t i = 0; i < cfg_.k; ++i) {
+        total_occurrences[i] += counts[i];
+      }
+    }
+    RunningStats occ;
+    for (std::uint64_t c : total_occurrences) {
+      occ.add(static_cast<double>(c));
+    }
+    result.ltnc_occurrence_rel_stddev = occ.relative_stddev();
+  }
+  return result;
+}
+
+SimResult run_simulation(Scheme scheme, const SimConfig& config) {
+  EpidemicSimulation sim(scheme, config);
+  return sim.run();
+}
+
+}  // namespace ltnc::dissem

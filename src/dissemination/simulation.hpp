@@ -1,0 +1,163 @@
+// Epidemic dissemination simulation (paper §IV-A).
+//
+// A content of k native packets is pushed from one source to N nodes.
+// Time advances in gossip periods; each period the source injects a few
+// encoded packets to random nodes, then every node past its aggressiveness
+// threshold recodes one fresh packet and pushes it to a peer drawn from
+// the peer sampling service. Transfers advertise the code vector first; a
+// binary feedback channel lets the receiver abort non-innovative transfers
+// before the payload moves.
+//
+// The simulation is deterministic for a given seed, and collects the exact
+// series the paper plots: the convergence trace (Fig. 7a), the completion
+// time (Fig. 7b), the communication overhead (Fig. 7c) and the per-plane
+// operation counts behind Fig. 8.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/op_counters.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "dissemination/protocols.hpp"
+#include "dissemination/sources.hpp"
+#include "net/peer_sampler.hpp"
+#include "net/traffic.hpp"
+
+namespace ltnc::dissem {
+
+enum class FeedbackMode {
+  kNone,    ///< push blindly; receiver discards junk after paying for it
+  kBinary,  ///< receiver aborts redundant transfers (paper's §IV setup)
+  kSmart,   ///< receiver ships its cc array; sender constructs for it
+};
+
+struct SimConfig {
+  std::size_t num_nodes = 128;
+  std::size_t k = 256;
+  std::size_t payload_bytes = 64;
+  std::uint64_t seed = 1;
+  /// Deterministic content seed (native i = Payload::deterministic(seed)).
+  std::uint64_t content_seed = 42;
+  /// Fraction of k a node must hold before recoding starts (LTNC ≈ 1 %).
+  double aggressiveness = 0.01;
+  /// Packets the source injects per gossip period.
+  std::size_t source_pushes_per_round = 4;
+  /// Packets each eligible node pushes per gossip period.
+  std::size_t node_pushes_per_round = 1;
+  FeedbackMode feedback = FeedbackMode::kBinary;
+  /// Probability that a payload transfer is lost in flight (failure
+  /// injection; the header/abort exchange is assumed reliable, as with
+  /// TCP connection setup in the paper's setting).
+  double loss_rate = 0.0;
+  /// Per-round probability that one random node crashes and is replaced
+  /// by a blank node (churn injection). The replacement keeps the NodeId
+  /// but loses all coding state — like a rebooted sensor or a fresh peer
+  /// joining under the dynamic overlay of §IV-A.
+  double churn_rate = 0.0;
+  /// Wireless broadcast medium: every payload transfer is overheard by
+  /// this many random bystanders, who keep it if innovative for them
+  /// (§III-C.2 points at COPE-style snooping; §VI calls the broadcast
+  /// medium "especially attractive"). 0 = wired unicast (paper's §IV).
+  std::size_t overhear_count = 0;
+  net::PeerSamplerConfig sampler{};
+  std::size_t max_rounds = 200000;
+  /// Stop early once every node is complete (always sensible; switchable
+  /// for soak tests).
+  bool stop_when_complete = true;
+  /// Verify decoded content against the deterministic ground truth at the
+  /// end (includes RLNC's final back-substitution in its decode cost).
+  bool verify_payloads = true;
+  core::LtncConfig ltnc{};
+  rlnc::RlncConfig rlnc{};
+  wc::WcConfig wc{};
+};
+
+struct SimResult {
+  Scheme scheme{};
+  SimConfig config{};
+  std::size_t rounds_run = 0;
+  std::size_t nodes_complete = 0;
+  std::size_t nodes_churned = 0;
+  bool all_complete = false;
+  bool payloads_verified = true;
+
+  /// Round at which each node completed (max_rounds + 1 when it did not).
+  std::vector<std::size_t> completion_round;
+  /// Fraction of complete nodes at the end of each round (Fig. 7a).
+  std::vector<double> convergence_trace;
+  /// Payload receptions per node (accepted transfers).
+  std::vector<std::uint64_t> payload_receptions;
+
+  net::TrafficStats traffic;
+  std::uint64_t overheard_useful = 0;  ///< snooped packets kept by bystanders
+  OpCounters decode_ops;  ///< summed over nodes
+  OpCounters recode_ops;  ///< summed over nodes
+
+  // Scheme-specific snapshots (populated for LTNC runs).
+  core::LtncStats ltnc_stats{};
+  core::DegreePickStats ltnc_degree_stats{};
+  core::BuildStats ltnc_build_stats{};
+  double ltnc_occurrence_rel_stddev = 0.0;
+  std::uint64_t ltnc_redundancy_checks = 0;
+  std::uint64_t ltnc_redundancy_hits = 0;
+
+  /// Mean completion round over completed nodes.
+  double mean_completion() const;
+  /// Mean payload receptions beyond the k strictly necessary, relative to
+  /// k — the paper's communication overhead (Fig. 7c). Counted over
+  /// completed nodes.
+  double overhead() const;
+};
+
+class EpidemicSimulation {
+ public:
+  EpidemicSimulation(Scheme scheme, const SimConfig& config);
+
+  /// Runs to completion (or max_rounds) and returns the collected result.
+  SimResult run();
+
+  /// Runs a single gossip period (exposed for incremental tests).
+  void step();
+
+  std::size_t round() const { return round_; }
+  std::size_t nodes_complete() const { return complete_count_; }
+  bool all_complete() const { return complete_count_ == nodes_.size(); }
+  const NodeProtocol& node(NodeId id) const { return *nodes_[id]; }
+
+ private:
+  /// Pushes `packet` to `target`; returns true if the payload transferred.
+  bool attempt_transfer(const CodedPacket& packet, NodeId target);
+  void node_push(NodeId sender);
+  void after_transfer(NodeId target);
+  SimResult finalise();
+
+  Scheme scheme_;
+  SimConfig cfg_;
+  Rng rng_;
+  std::unique_ptr<Source> source_;
+  std::vector<std::unique_ptr<NodeProtocol>> nodes_;
+  std::unique_ptr<net::PeerSampler> sampler_;
+  std::vector<NodeId> schedule_;  ///< node visit order, reshuffled per round
+
+  void churn_one_node();
+  ProtocolParams protocol_params() const;
+
+  std::size_t round_ = 0;
+  std::size_t complete_count_ = 0;
+  std::size_t churned_count_ = 0;
+  std::uint64_t overheard_useful_ = 0;
+  std::vector<std::size_t> completion_round_;
+  std::vector<std::uint64_t> payload_receptions_;
+  std::vector<double> convergence_trace_;
+  net::TrafficStats traffic_;
+};
+
+/// Convenience: configure + run in one call.
+SimResult run_simulation(Scheme scheme, const SimConfig& config);
+
+}  // namespace ltnc::dissem

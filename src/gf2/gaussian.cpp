@@ -1,0 +1,83 @@
+#include "gf2/gaussian.hpp"
+
+#include "common/check.hpp"
+
+namespace ltnc::gf2 {
+
+OnlineGaussianSolver::OnlineGaussianSolver(std::size_t k,
+                                           std::size_t payload_bytes)
+    : k_(k), payload_bytes_(payload_bytes), pivot_row_(k, -1) {
+  LTNC_CHECK_MSG(k > 0, "code length must be positive");
+}
+
+bool OnlineGaussianSolver::is_innovative(const BitVector& coeffs) const {
+  LTNC_CHECK_MSG(coeffs.size() == k_, "code vector width mismatch");
+  // Reduce a scratch copy against pivots; innovative iff non-zero remains.
+  BitVector v = coeffs;
+  std::size_t p = v.first_set();
+  while (p != BitVector::npos) {
+    const std::int32_t r = pivot_row_[p];
+    if (r < 0) return true;
+    ops_.control_word_ops +=
+        v.xor_with(rows_[static_cast<std::size_t>(r)].coeffs);
+    p = v.next_set(p);
+  }
+  return false;
+}
+
+OnlineGaussianSolver::Insert OnlineGaussianSolver::insert(CodedPacket packet) {
+  LTNC_CHECK_MSG(packet.coeffs.size() == k_, "code vector width mismatch");
+  LTNC_CHECK_MSG(packet.payload.size_bytes() == payload_bytes_,
+                 "payload size mismatch");
+  ++ops_.invocations;
+  std::size_t p = packet.coeffs.first_set();
+  while (p != BitVector::npos) {
+    const std::int32_t r = pivot_row_[p];
+    if (r < 0) break;
+    const auto& row = rows_[static_cast<std::size_t>(r)];
+    ops_.control_word_ops += packet.coeffs.xor_with(row.coeffs);
+    ops_.data_word_ops += packet.payload.xor_with(row.payload);
+    p = packet.coeffs.next_set(p);
+  }
+  if (p == BitVector::npos) return Insert::kRedundant;
+  pivot_row_[p] = static_cast<std::int32_t>(rows_.size());
+  rows_.push_back(std::move(packet));
+  ++rank_;
+  reduced_ = false;
+  return Insert::kInnovative;
+}
+
+void OnlineGaussianSolver::back_substitute() {
+  LTNC_CHECK_MSG(complete(), "back_substitute requires full rank");
+  if (reduced_) return;
+  // Eliminate every pivot column from all other rows, highest pivot first,
+  // leaving the identity. This is the expensive decode step of RLNC.
+  for (std::size_t col = k_; col-- > 0;) {
+    const std::size_t src = static_cast<std::size_t>(pivot_row_[col]);
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (r == src) continue;
+      if (rows_[r].coeffs.test(col)) {
+        ops_.control_word_ops += rows_[r].coeffs.xor_with(rows_[src].coeffs);
+        ops_.data_word_ops += rows_[r].payload.xor_with(rows_[src].payload);
+      }
+    }
+  }
+  reduced_ = true;
+}
+
+const Payload& OnlineGaussianSolver::native_payload(std::size_t i) const {
+  LTNC_CHECK_MSG(i < k_, "native index out of range");
+  LTNC_CHECK_MSG(reduced_, "call back_substitute() first");
+  const std::int32_t r = pivot_row_[i];
+  LTNC_CHECK_MSG(r >= 0, "native not decoded");
+  return rows_[static_cast<std::size_t>(r)].payload;
+}
+
+bool OnlineGaussianSolver::native_known(std::size_t i) const {
+  LTNC_CHECK_MSG(i < k_, "native index out of range");
+  const std::int32_t r = pivot_row_[i];
+  if (r < 0) return false;
+  return rows_[static_cast<std::size_t>(r)].coeffs.popcount() == 1;
+}
+
+}  // namespace ltnc::gf2

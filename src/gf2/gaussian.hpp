@@ -1,0 +1,72 @@
+// Online Gaussian elimination over GF(2) with payload tracking.
+//
+// This is the decoding engine of the RLNC baseline (§II, §IV-A of the
+// paper): incoming packets are reduced against the pivot rows as they
+// arrive, so non-innovative packets are detected immediately ("a partial
+// Gaussian reduction step detecting non-innovative packets is performed
+// when a fresh encoded packet received is inserted"). Once the matrix is
+// full rank, back-substitution recovers the native payloads — the
+// O(m · k²) step whose cost LTNC's belief propagation avoids.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "common/coded_packet.hpp"
+#include "common/op_counters.hpp"
+#include "common/payload.hpp"
+
+namespace ltnc::gf2 {
+
+class OnlineGaussianSolver {
+ public:
+  enum class Insert { kInnovative, kRedundant };
+
+  OnlineGaussianSolver(std::size_t k, std::size_t payload_bytes);
+
+  std::size_t code_length() const { return k_; }
+  std::size_t rank() const { return rank_; }
+  bool complete() const { return rank_ == k_; }
+
+  /// Control-plane-only check: would this code vector increase the rank?
+  /// (This is what the binary feedback channel evaluates before the payload
+  /// is transferred.)
+  bool is_innovative(const BitVector& coeffs) const;
+
+  /// Reduces the packet against the current pivot rows and stores it if it
+  /// is innovative. Payload row operations mirror the coefficient row
+  /// operations.
+  Insert insert(CodedPacket packet);
+
+  /// Finishes decoding: back-eliminates so every row has a single set bit.
+  /// Requires complete(). Idempotent.
+  void back_substitute();
+
+  /// Decoded payload of native `i`. Requires back_substitute() after
+  /// complete().
+  const Payload& native_payload(std::size_t i) const;
+
+  /// True when native i's value is already pinned down (row with a single
+  /// set bit at i exists). Meaningful before completion too.
+  bool native_known(std::size_t i) const;
+
+  /// Rows currently held (reduced form). Exposed for the RLNC recoder: the
+  /// row space equals the span of everything received.
+  std::size_t stored_rows() const { return rows_.size(); }
+  const CodedPacket& row(std::size_t i) const { return rows_[i]; }
+
+  const OpCounters& ops() const { return ops_; }
+  OpCounters& mutable_ops() { return ops_; }
+
+ private:
+  std::size_t k_;
+  std::size_t payload_bytes_;
+  std::size_t rank_ = 0;
+  bool reduced_ = false;
+  std::vector<CodedPacket> rows_;        ///< echelon rows, insertion order
+  std::vector<std::int32_t> pivot_row_;  ///< pivot column -> row index or -1
+  mutable OpCounters ops_;  ///< mutable: const queries still charge cost
+};
+
+}  // namespace ltnc::gf2

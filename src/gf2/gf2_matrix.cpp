@@ -1,0 +1,62 @@
+#include "gf2/gf2_matrix.hpp"
+
+#include "common/check.hpp"
+
+namespace ltnc::gf2 {
+namespace {
+
+// Reduces `v` against an echelon basis (pivot index -> basis vector).
+// Returns true if v is absorbed to zero (in span).
+bool reduce_against(std::vector<BitVector>& basis,
+                    std::vector<std::size_t>& pivots, BitVector v,
+                    bool insert_if_independent) {
+  while (true) {
+    const std::size_t p = v.first_set();
+    if (p == BitVector::npos) return true;  // reduced to zero: in span
+    bool found = false;
+    for (std::size_t i = 0; i < pivots.size(); ++i) {
+      if (pivots[i] == p) {
+        v.xor_with(basis[i]);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      if (insert_if_independent) {
+        pivots.push_back(p);
+        basis.push_back(std::move(v));
+      }
+      return false;  // independent
+    }
+  }
+}
+
+}  // namespace
+
+void GF2Matrix::append_row(BitVector row) {
+  LTNC_CHECK_MSG(row.size() == columns_, "row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::size_t GF2Matrix::rank() const { return rank_of(rows_); }
+
+bool GF2Matrix::in_row_space(const BitVector& v) const {
+  LTNC_CHECK_MSG(v.size() == columns_, "vector width mismatch");
+  std::vector<BitVector> basis;
+  std::vector<std::size_t> pivots;
+  for (const auto& r : rows_) {
+    reduce_against(basis, pivots, r, /*insert_if_independent=*/true);
+  }
+  return reduce_against(basis, pivots, v, /*insert_if_independent=*/false);
+}
+
+std::size_t rank_of(const std::vector<BitVector>& vectors) {
+  std::vector<BitVector> basis;
+  std::vector<std::size_t> pivots;
+  for (const auto& v : vectors) {
+    reduce_against(basis, pivots, v, /*insert_if_independent=*/true);
+  }
+  return basis.size();
+}
+
+}  // namespace ltnc::gf2

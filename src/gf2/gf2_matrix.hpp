@@ -1,0 +1,42 @@
+// Dense GF(2) matrix with elementary row operations.
+//
+// This is the reference linear-algebra object: rank computation and span
+// membership implemented the straightforward way. The simulation codecs use
+// the incremental OnlineGaussianSolver instead; GF2Matrix serves offline
+// computations and acts as the brute-force oracle in the property tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvector.hpp"
+
+namespace ltnc::gf2 {
+
+class GF2Matrix {
+ public:
+  /// Creates an empty matrix whose rows have `columns` bits.
+  explicit GF2Matrix(std::size_t columns) : columns_(columns) {}
+
+  std::size_t columns() const { return columns_; }
+  std::size_t rows() const { return rows_.size(); }
+
+  void append_row(BitVector row);
+  const BitVector& row(std::size_t i) const { return rows_[i]; }
+
+  /// Rank via fresh Gaussian elimination (does not modify the matrix).
+  std::size_t rank() const;
+
+  /// True iff `v` lies in the row space (i.e. v is a GF(2) combination of
+  /// the rows — "not innovative" in network-coding terms).
+  bool in_row_space(const BitVector& v) const;
+
+ private:
+  std::size_t columns_;
+  std::vector<BitVector> rows_;
+};
+
+/// Rank of an arbitrary set of vectors (test convenience).
+std::size_t rank_of(const std::vector<BitVector>& vectors);
+
+}  // namespace ltnc::gf2

@@ -1,0 +1,57 @@
+#include "lt/lt_encoder.hpp"
+
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace ltnc::lt {
+
+LtEncoder::LtEncoder(std::vector<Payload> natives,
+                     RobustSolitonParams params)
+    : natives_(std::move(natives)),
+      payload_bytes_(natives_.empty() ? 0 : natives_[0].size_bytes()),
+      soliton_(natives_.size(), params) {
+  LTNC_CHECK_MSG(!natives_.empty(), "encoder needs at least one native");
+  for (const auto& n : natives_) {
+    LTNC_CHECK_MSG(n.size_bytes() == payload_bytes_,
+                   "all natives must have the same size");
+  }
+}
+
+CodedPacket LtEncoder::encode(Rng& rng) {
+  return encode_with_degree(rng, soliton_.sample(rng));
+}
+
+CodedPacket LtEncoder::encode_with_degree(Rng& rng, std::size_t degree) {
+  const std::size_t k = natives_.size();
+  LTNC_CHECK_MSG(degree >= 1 && degree <= k, "degree out of range");
+  ++ops_.invocations;
+
+  // Floyd's algorithm: uniform d-subset of [0, k) in O(d) expected time.
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(degree * 2);
+  for (std::size_t j = k - degree; j < k; ++j) {
+    const std::size_t t = rng.uniform(j + 1);
+    chosen.insert(chosen.contains(t) ? j : t);
+  }
+
+  CodedPacket pkt{BitVector(k), Payload(payload_bytes_)};
+  for (std::size_t i : chosen) {
+    pkt.coeffs.set(i);
+    ops_.control_steps += 1;
+    ops_.data_word_ops += pkt.payload.xor_with(natives_[i]);
+  }
+  return pkt;
+}
+
+std::vector<Payload> make_native_payloads(std::size_t k, std::size_t bytes,
+                                          std::uint64_t seed) {
+  std::vector<Payload> natives;
+  natives.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    natives.push_back(Payload::deterministic(bytes, seed, i));
+  }
+  return natives;
+}
+
+}  // namespace ltnc::lt

@@ -1,0 +1,57 @@
+#include "lt/soliton.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ltnc::lt {
+
+std::vector<double> ideal_soliton_weights(std::size_t k) {
+  LTNC_CHECK_MSG(k >= 1, "k must be at least 1");
+  std::vector<double> w(k, 0.0);
+  w[0] = 1.0 / static_cast<double>(k);
+  for (std::size_t d = 2; d <= k; ++d) {
+    w[d - 1] = 1.0 / (static_cast<double>(d) * static_cast<double>(d - 1));
+  }
+  return w;
+}
+
+std::vector<double> robust_soliton_weights(std::size_t k,
+                                           const RobustSolitonParams& params) {
+  LTNC_CHECK_MSG(k >= 1, "k must be at least 1");
+  LTNC_CHECK_MSG(params.c > 0.0 && params.delta > 0.0 && params.delta < 1.0,
+                 "invalid Robust Soliton parameters");
+  std::vector<double> w = ideal_soliton_weights(k);
+  const double kd = static_cast<double>(k);
+  const double R = params.c * std::log(kd / params.delta) * std::sqrt(kd);
+  // Spike position k/R clamped into [1, k].
+  const auto spike = static_cast<std::size_t>(
+      std::clamp(kd / R, 1.0, kd));
+  for (std::size_t d = 1; d < spike; ++d) {
+    w[d - 1] += R / (static_cast<double>(d) * kd);
+  }
+  w[spike - 1] += R * std::log(R / params.delta) / kd;
+  // Normalise by β = Σ(ρ + τ).
+  double beta = 0.0;
+  for (double x : w) beta += x;
+  for (double& x : w) x /= beta;
+  return w;
+}
+
+RobustSoliton::RobustSoliton(std::size_t k, RobustSolitonParams params)
+    : k_(k),
+      params_(params),
+      ripple_(params.c * std::log(static_cast<double>(k) / params.delta) *
+              std::sqrt(static_cast<double>(k))),
+      dist_(robust_soliton_weights(k, params)) {}
+
+double RobustSoliton::mean_degree() const {
+  double mean = 0.0;
+  for (std::size_t d = 1; d <= k_; ++d) {
+    mean += static_cast<double>(d) * dist_.probability_of(d - 1);
+  }
+  return mean;
+}
+
+}  // namespace ltnc::lt

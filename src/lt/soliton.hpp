@@ -1,0 +1,66 @@
+// Soliton degree distributions for LT codes (Luby, FOCS 2002).
+//
+// The Robust Soliton distribution is the statistical backbone of LT codes
+// and therefore of LTNC: every encoded packet the source emits — and every
+// packet an LTNC node recodes — draws its degree from it (paper Fig. 2).
+// It is the Ideal Soliton ρ(·) plus a correction τ(·) that (a) boosts
+// degree-1/2 mass so belief propagation keeps a non-empty ripple and
+// (b) adds a spike at k/R ensuring every native packet is eventually
+// covered.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/discrete_distribution.hpp"
+#include "common/rng.hpp"
+
+namespace ltnc::lt {
+
+/// Ideal Soliton: ρ(1) = 1/k, ρ(d) = 1/(d(d−1)) for 2 ≤ d ≤ k.
+/// Returned vector is indexed by degree−1 and sums to 1.
+std::vector<double> ideal_soliton_weights(std::size_t k);
+
+struct RobustSolitonParams {
+  /// Luby's c constant: scales the spike position R = c·ln(k/δ)·√k.
+  double c = 0.1;
+  /// Decoder failure probability bound δ.
+  double delta = 0.05;
+};
+
+/// Robust Soliton: μ(d) = (ρ(d) + τ(d)) / β, normalised. Indexed by
+/// degree−1.
+std::vector<double> robust_soliton_weights(std::size_t k,
+                                           const RobustSolitonParams& params);
+
+/// Sampler for packet degrees following the Robust Soliton distribution.
+class RobustSoliton {
+ public:
+  explicit RobustSoliton(std::size_t k, RobustSolitonParams params = {});
+
+  std::size_t k() const { return k_; }
+  const RobustSolitonParams& params() const { return params_; }
+
+  /// Draws a degree in [1, k].
+  std::size_t sample(Rng& rng) const { return dist_.sample(rng) + 1; }
+
+  /// P(degree = d).
+  double probability(std::size_t d) const {
+    return (d >= 1 && d <= k_) ? dist_.probability_of(d - 1) : 0.0;
+  }
+
+  /// Expected degree — Θ(log k); drives the paper's O(m·k·log k) decoding
+  /// bound.
+  double mean_degree() const;
+
+  /// R = c·ln(k/δ)·√k, the expected ripple size.
+  double ripple() const { return ripple_; }
+
+ private:
+  std::size_t k_;
+  RobustSolitonParams params_;
+  double ripple_;
+  DiscreteDistribution dist_;
+};
+
+}  // namespace ltnc::lt

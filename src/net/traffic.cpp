@@ -1,0 +1,5 @@
+#include "net/traffic.hpp"
+
+// TrafficStats is header-only today; this translation unit anchors the
+// target.
+namespace ltnc::net {}

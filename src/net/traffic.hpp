@@ -1,0 +1,42 @@
+// Transfer accounting for the dissemination experiments.
+//
+// Every push is a unicast transfer whose code vector travels first (in the
+// header); the binary feedback channel lets the receiver abort before the
+// payload moves (§III-C.2, §IV-A: "aborting a transfer is simply achieved
+// by closing the TCP connection"). Overhead (Fig. 7c) is derived from the
+// payloads that actually crossed the wire beyond the k each node needs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ltnc::net {
+
+struct TrafficStats {
+  std::uint64_t attempts = 0;          ///< transfers initiated
+  std::uint64_t aborted = 0;           ///< vetoed by the feedback channel
+  std::uint64_t lost = 0;              ///< dropped by the lossy channel
+  std::uint64_t payload_transfers = 0; ///< payloads fully transmitted
+  std::uint64_t header_bytes = 0;      ///< code vectors (sent on every attempt)
+  std::uint64_t payload_bytes = 0;     ///< data actually transferred
+  std::uint64_t feedback_bytes = 0;    ///< cc arrays shipped (smart mode)
+
+  double abort_rate() const {
+    return attempts == 0
+               ? 0.0
+               : static_cast<double>(aborted) / static_cast<double>(attempts);
+  }
+
+  TrafficStats& operator+=(const TrafficStats& o) {
+    attempts += o.attempts;
+    aborted += o.aborted;
+    lost += o.lost;
+    payload_transfers += o.payload_transfers;
+    header_bytes += o.header_bytes;
+    payload_bytes += o.payload_bytes;
+    feedback_bytes += o.feedback_bytes;
+    return *this;
+  }
+};
+
+}  // namespace ltnc::net

@@ -1,0 +1,63 @@
+#include "rlnc/rlnc_codec.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ltnc::rlnc {
+
+RlncCodec::RlncCodec(const RlncConfig& config)
+    : cfg_(config), solver_(config.k, config.payload_bytes) {
+  LTNC_CHECK_MSG(config.k > 0, "k must be positive");
+}
+
+gf2::OnlineGaussianSolver::Insert RlncCodec::receive(CodedPacket packet) {
+  return solver_.insert(std::move(packet));
+}
+
+std::optional<CodedPacket> RlncCodec::recode(Rng& rng) {
+  const std::size_t held = solver_.stored_rows();
+  if (held == 0) return std::nullopt;
+  ++recode_ops_.invocations;
+
+  const std::size_t s = std::min(held, cfg_.effective_sparsity());
+  CodedPacket out{BitVector(cfg_.k), Payload(cfg_.payload_bytes)};
+
+  // Sample s distinct row indices (partial Fisher–Yates over a scratch
+  // index vector), then include each with probability 1/2 — a random
+  // GF(2) combination restricted to a sparse support. Guarantee a
+  // non-empty combination by forcing the last candidate in when all coins
+  // came up tails.
+  std::vector<std::size_t> idx(held);
+  for (std::size_t i = 0; i < held; ++i) idx[i] = i;
+  bool any = false;
+  for (std::size_t t = 0; t < s; ++t) {
+    const std::size_t j = t + rng.uniform(held - t);
+    std::swap(idx[t], idx[j]);
+    const bool include =
+        (t + 1 == s && !any) ? true : (rng.next() & 1ULL) != 0;
+    if (!include) continue;
+    any = true;
+    const CodedPacket& row = solver_.row(idx[t]);
+    recode_ops_.control_word_ops += out.coeffs.xor_with(row.coeffs);
+    recode_ops_.data_word_ops += out.payload.xor_with(row.payload);
+  }
+  LTNC_DCHECK(any);
+  // The solver's rows are linearly independent (echelon form), so a
+  // non-empty XOR of them is never zero; guard defensively anyway.
+  if (!out.coeffs.any()) {
+    const CodedPacket& row = solver_.row(rng.uniform(held));
+    out = row;
+    recode_ops_.control_word_ops += out.coeffs.word_count();
+    recode_ops_.data_word_ops += out.payload.word_count();
+  }
+  return out;
+}
+
+const Payload& RlncCodec::native_payload(std::size_t i) {
+  solver_.back_substitute();
+  return solver_.native_payload(i);
+}
+
+}  // namespace ltnc::rlnc

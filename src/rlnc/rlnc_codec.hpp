@@ -1,0 +1,78 @@
+// Random Linear Network Coding baseline (paper §II, §IV-A).
+//
+// Nodes recode by XORing random subsets of previously received encoded
+// packets over GF(2); the number of packets combined is bounded by the
+// sparsity parameter ln k + 20, "widely acknowledged as the optimal
+// setting for linear network coding" [7][8]. Decoding and non-innovative
+// detection use online Gaussian elimination — exact but O(m·k²), which is
+// precisely the cost LTNC trades communication overhead to avoid.
+//
+// Recoding draws from the solver's stored rows: their span equals the span
+// of everything received, so innovation behaviour is identical to
+// combining the raw packets while halving memory.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <optional>
+
+#include "common/coded_packet.hpp"
+#include "common/op_counters.hpp"
+#include "common/rng.hpp"
+#include "gf2/gaussian.hpp"
+
+namespace ltnc::rlnc {
+
+struct RlncConfig {
+  std::size_t k = 0;
+  std::size_t payload_bytes = 0;
+  /// Max packets combined per recode; 0 means the paper's ln k + 20.
+  std::size_t sparsity = 0;
+
+  std::size_t effective_sparsity() const {
+    if (sparsity != 0) return sparsity;
+    return static_cast<std::size_t>(
+               std::log(static_cast<double>(k))) + 20;
+  }
+};
+
+class RlncCodec {
+ public:
+  explicit RlncCodec(const RlncConfig& config);
+
+  std::size_t k() const { return cfg_.k; }
+  std::size_t payload_bytes() const { return cfg_.payload_bytes; }
+
+  /// Inserts a packet; redundant packets are detected exactly (partial
+  /// Gaussian reduction) and discarded.
+  gf2::OnlineGaussianSolver::Insert receive(CodedPacket packet);
+
+  /// Binary feedback: RLNC rejects exactly the non-innovative vectors, so
+  /// its communication overhead is zero by construction (§IV-B, Fig. 7c).
+  bool would_reject(const BitVector& coeffs) const {
+    return !solver_.is_innovative(coeffs);
+  }
+
+  /// Fresh packet: XOR of a random ≤ sparsity subset of held rows.
+  std::optional<CodedPacket> recode(Rng& rng);
+
+  /// Rank-based progress: how many independent packets are held.
+  std::size_t rank() const { return solver_.rank(); }
+  bool complete() const { return solver_.complete(); }
+
+  /// Runs the final Gaussian back-substitution if needed and returns the
+  /// decoded native. Requires complete().
+  const Payload& native_payload(std::size_t i);
+
+  /// Operations charged to decoding (insert reductions + back-substitution).
+  const OpCounters& decode_ops() const { return solver_.ops(); }
+  /// Operations charged to recoding.
+  const OpCounters& recode_ops() const { return recode_ops_; }
+
+ private:
+  RlncConfig cfg_;
+  gf2::OnlineGaussianSolver solver_;
+  OpCounters recode_ops_;
+};
+
+}  // namespace ltnc::rlnc

@@ -1,0 +1,82 @@
+#include "wc/wc_node.hpp"
+
+#include "common/check.hpp"
+
+namespace ltnc::wc {
+
+WcNode::WcNode(const WcConfig& config)
+    : cfg_(config),
+      have_(config.k, 0),
+      in_buffer_(config.k, 0),
+      values_(config.k, Payload(0)) {
+  LTNC_CHECK_MSG(config.k > 0, "k must be positive");
+}
+
+void WcNode::evict_oldest() {
+  // The fifo may hold entries already evicted or retired; skip them.
+  while (fifo_head_ < fifo_.size()) {
+    const std::uint32_t victim = fifo_[fifo_head_++];
+    if (in_buffer_[victim]) {
+      in_buffer_[victim] = 0;
+      --buffered_count_;
+      return;
+    }
+  }
+}
+
+WcNode::Receive WcNode::receive(const CodedPacket& packet) {
+  LTNC_CHECK_MSG(packet.degree() == 1,
+                 "WC nodes exchange native packets only");
+  const std::size_t i = packet.coeffs.first_set();
+  ++ops_.invocations;
+  ops_.control_steps += 1;
+  if (have_[i]) return Receive::kDuplicate;
+  have_[i] = 1;
+  values_[i] = packet.payload;
+  ops_.data_word_ops += packet.payload.word_count();  // one copy
+  ++received_count_;
+
+  if (cfg_.buffer_capacity != 0 &&
+      buffered_count_ >= cfg_.buffer_capacity) {
+    evict_oldest();  // discard the oldest (paper §IV-A)
+  }
+  in_buffer_[i] = 1;
+  ++buffered_count_;
+  fifo_.push_back(static_cast<std::uint32_t>(i));
+  queue_.push(HeapEntry{0, next_seq_++, static_cast<std::uint32_t>(i)});
+  return Receive::kInnovative;
+}
+
+bool WcNode::would_reject(const BitVector& coeffs) const {
+  const std::size_t i = coeffs.first_set();
+  if (i == BitVector::npos) return true;
+  return have_[i] != 0;
+}
+
+std::optional<CodedPacket> WcNode::emit(Rng& rng) {
+  (void)rng;  // selection is deterministic: least-sent, oldest-first
+  while (!queue_.empty()) {
+    HeapEntry top = queue_.top();
+    queue_.pop();
+    ops_.control_steps += 1;
+    if (!in_buffer_[top.native]) continue;  // evicted since enqueued
+    if (cfg_.fanout != 0 && top.times_sent >= cfg_.fanout) {
+      // Forward budget exhausted: retire the entry.
+      in_buffer_[top.native] = 0;
+      --buffered_count_;
+      continue;
+    }
+    ++top.times_sent;
+    queue_.push(top);
+    ++ops_.invocations;
+    return CodedPacket::native(cfg_.k, top.native, values_[top.native]);
+  }
+  return std::nullopt;
+}
+
+const Payload& WcNode::native_payload(std::size_t i) const {
+  LTNC_CHECK_MSG(i < cfg_.k && have_[i], "native not received");
+  return values_[i];
+}
+
+}  // namespace ltnc::wc

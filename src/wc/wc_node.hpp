@@ -1,0 +1,92 @@
+// "Without Coding" baseline (paper §IV-A).
+//
+// Pure epidemic dissemination of native packets: nodes buffer up to b
+// innovative natives (oldest discarded when full), and at each gossip
+// period push the least-sent buffered native to one random peer (ties
+// broken oldest-first). Each buffered native is forwarded at most f times,
+// f ≥ ⌈ln N⌉ being the classic epidemic threshold for whole-network
+// delivery [24]. Duplicate detection is a set lookup, so — like RLNC,
+// unlike LTNC — the feedback channel can abort every useless transfer and
+// communication overhead is zero.
+//
+// The least-sent entry is kept in a lazy min-heap keyed by
+// (times_sent, insertion order), so emit() is O(log b) — at the paper's
+// k = 2048 a linear buffer scan would dominate whole-network simulations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/coded_packet.hpp"
+#include "common/op_counters.hpp"
+#include "common/rng.hpp"
+
+namespace ltnc::wc {
+
+struct WcConfig {
+  std::size_t k = 0;
+  std::size_t payload_bytes = 0;
+  /// Buffer capacity b; 0 = unbounded (paper's large-buffer regime).
+  std::size_t buffer_capacity = 0;
+  /// Forward budget f per packet; 0 = keep forwarding while buffered.
+  std::size_t fanout = 0;
+};
+
+class WcNode {
+ public:
+  explicit WcNode(const WcConfig& config);
+
+  std::size_t k() const { return cfg_.k; }
+
+  enum class Receive { kInnovative, kDuplicate };
+
+  /// Accepts a native packet (degree-1 coded packet).
+  Receive receive(const CodedPacket& packet);
+
+  /// True iff the advertised native is already held.
+  bool would_reject(const BitVector& coeffs) const;
+
+  /// Least-sent buffered native (ties oldest-first), or nullopt when the
+  /// buffer is empty or every entry exhausted its forward budget.
+  std::optional<CodedPacket> emit(Rng& rng);
+
+  std::size_t received_count() const { return received_count_; }
+  bool complete() const { return received_count_ == cfg_.k; }
+  const Payload& native_payload(std::size_t i) const;
+  bool has_native(std::size_t i) const { return have_[i] != 0; }
+
+  std::size_t buffered() const { return buffered_count_; }
+  const OpCounters& ops() const { return ops_; }
+
+ private:
+  struct HeapEntry {
+    std::uint32_t times_sent;
+    std::uint64_t seq;  ///< insertion order: older entries first on ties
+    std::uint32_t native;
+  };
+  struct HeapGreater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.times_sent != b.times_sent) return a.times_sent > b.times_sent;
+      return a.seq > b.seq;
+    }
+  };
+
+  void evict_oldest();
+
+  WcConfig cfg_;
+  std::vector<char> have_;
+  std::vector<char> in_buffer_;
+  std::vector<Payload> values_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapGreater> queue_;
+  std::vector<std::uint32_t> fifo_;  ///< insertion order (eviction scan)
+  std::size_t fifo_head_ = 0;
+  std::size_t buffered_count_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t received_count_ = 0;
+  OpCounters ops_;
+};
+
+}  // namespace ltnc::wc

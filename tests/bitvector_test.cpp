@@ -1,0 +1,159 @@
+#include "common/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ltnc {
+namespace {
+
+TEST(BitVector, StartsAllZero) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.popcount(), 0u);
+  EXPECT_TRUE(v.none());
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_FALSE(v.test(i));
+}
+
+TEST(BitVector, SetClearFlip) {
+  BitVector v(70);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(69);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(63));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(69));
+  EXPECT_EQ(v.popcount(), 4u);
+  v.set(63, false);
+  EXPECT_FALSE(v.test(63));
+  v.flip(69);
+  EXPECT_FALSE(v.test(69));
+  v.flip(1);
+  EXPECT_TRUE(v.test(1));
+  EXPECT_EQ(v.popcount(), 3u);
+}
+
+TEST(BitVector, UnitAndFromIndices) {
+  const BitVector u = BitVector::unit(100, 42);
+  EXPECT_EQ(u.popcount(), 1u);
+  EXPECT_TRUE(u.test(42));
+  EXPECT_EQ(u.first_set(), 42u);
+
+  const BitVector f = BitVector::from_indices(100, {3, 17, 99});
+  EXPECT_EQ(f.popcount(), 3u);
+  EXPECT_TRUE(f.test(3));
+  EXPECT_TRUE(f.test(17));
+  EXPECT_TRUE(f.test(99));
+}
+
+TEST(BitVector, XorIsGf2Addition) {
+  BitVector a = BitVector::from_indices(128, {1, 2, 64});
+  const BitVector b = BitVector::from_indices(128, {2, 3, 127});
+  a.xor_with(b);
+  EXPECT_EQ(a, BitVector::from_indices(128, {1, 3, 64, 127}));
+  // Self-inverse: (a ^ b) ^ b == a.
+  a.xor_with(b);
+  EXPECT_EQ(a, BitVector::from_indices(128, {1, 2, 64}));
+}
+
+TEST(BitVector, XorSizeMismatchThrows) {
+  BitVector a(64);
+  const BitVector b(65);
+  EXPECT_THROW(a.xor_with(b), std::logic_error);
+  EXPECT_THROW((void)a.popcount_xor(b), std::logic_error);
+}
+
+TEST(BitVector, PopcountXorMatchesMaterialisedXor) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitVector a(200);
+    BitVector b(200);
+    for (int i = 0; i < 30; ++i) {
+      a.set(rng.uniform(200));
+      b.set(rng.uniform(200));
+    }
+    EXPECT_EQ(a.popcount_xor(b), (a ^ b).popcount());
+  }
+}
+
+TEST(BitVector, SubtractClearsOtherBits) {
+  BitVector a = BitVector::from_indices(80, {1, 5, 9, 70});
+  const BitVector mask = BitVector::from_indices(80, {5, 70, 79});
+  EXPECT_EQ(a.popcount_and_not(mask), 2u);
+  a.subtract(mask);
+  EXPECT_EQ(a, BitVector::from_indices(80, {1, 9}));
+}
+
+TEST(BitVector, FirstAndNextSet) {
+  const BitVector v = BitVector::from_indices(300, {5, 64, 128, 299});
+  EXPECT_EQ(v.first_set(), 5u);
+  EXPECT_EQ(v.next_set(6), 64u);
+  EXPECT_EQ(v.next_set(64), 64u);
+  EXPECT_EQ(v.next_set(65), 128u);
+  EXPECT_EQ(v.next_set(129), 299u);
+  EXPECT_EQ(v.next_set(300), BitVector::npos);
+  EXPECT_EQ(BitVector(64).first_set(), BitVector::npos);
+}
+
+TEST(BitVector, ForEachSetAscending) {
+  const std::vector<std::size_t> expected{0, 63, 64, 65, 199};
+  const BitVector v = BitVector::from_indices(200, expected);
+  std::vector<std::size_t> seen;
+  v.for_each_set([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+  EXPECT_EQ(v.indices(), expected);
+}
+
+TEST(BitVector, EqualityAndHash) {
+  const BitVector a = BitVector::from_indices(128, {1, 100});
+  const BitVector b = BitVector::from_indices(128, {1, 100});
+  const BitVector c = BitVector::from_indices(128, {1, 101});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());  // overwhelmingly likely
+}
+
+TEST(BitVector, ClearResets) {
+  BitVector v = BitVector::from_indices(128, {0, 64, 127});
+  v.clear();
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVector, ToStringListsIndices) {
+  EXPECT_EQ(BitVector::from_indices(10, {1, 3}).to_string(), "{1,3}");
+  EXPECT_EQ(BitVector(10).to_string(), "{}");
+}
+
+class BitVectorRandomised : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVectorRandomised, MatchesSetSemantics) {
+  const std::size_t bits = GetParam();
+  Rng rng(bits * 2654435761u + 1);
+  BitVector v(bits);
+  std::set<std::size_t> model;
+  for (int step = 0; step < 500; ++step) {
+    const std::size_t i = rng.uniform(bits);
+    if (rng.chance(0.5)) {
+      v.set(i);
+      model.insert(i);
+    } else {
+      v.set(i, false);
+      model.erase(i);
+    }
+  }
+  EXPECT_EQ(v.popcount(), model.size());
+  const std::vector<std::size_t> expected(model.begin(), model.end());
+  EXPECT_EQ(v.indices(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorRandomised,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 1000));
+
+}  // namespace
+}  // namespace ltnc

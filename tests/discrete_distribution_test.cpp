@@ -1,0 +1,69 @@
+#include "common/discrete_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ltnc {
+namespace {
+
+TEST(DiscreteDistribution, RejectsBadWeights) {
+  EXPECT_THROW(DiscreteDistribution(std::vector<double>{}), std::logic_error);
+  EXPECT_THROW(DiscreteDistribution(std::vector<double>{0.0, 0.0}),
+               std::logic_error);
+  EXPECT_THROW(DiscreteDistribution(std::vector<double>{1.0, -0.5}),
+               std::logic_error);
+}
+
+TEST(DiscreteDistribution, NormalisesProbabilities) {
+  const DiscreteDistribution d(std::vector<double>{1.0, 3.0});
+  EXPECT_NEAR(d.probability_of(0), 0.25, 1e-12);
+  EXPECT_NEAR(d.probability_of(1), 0.75, 1e-12);
+}
+
+TEST(DiscreteDistribution, SingleOutcome) {
+  const DiscreteDistribution d(std::vector<double>{5.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.sample(rng), 0u);
+}
+
+TEST(DiscreteDistribution, ZeroWeightNeverSampled) {
+  const DiscreteDistribution d(std::vector<double>{1.0, 0.0, 1.0});
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(d.sample(rng), 1u);
+}
+
+class AliasSamplingFidelity
+    : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(AliasSamplingFidelity, EmpiricalMatchesExpected) {
+  const std::vector<double> weights = GetParam();
+  const DiscreteDistribution d(weights);
+  Rng rng(42);
+  constexpr int kSamples = 200000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[d.sample(rng)];
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected = d.probability_of(i);
+    const double observed =
+        static_cast<double>(counts[i]) / static_cast<double>(kSamples);
+    // 5σ binomial tolerance.
+    const double sigma =
+        std::sqrt(expected * (1.0 - expected) / kSamples);
+    EXPECT_NEAR(observed, expected, 5.0 * sigma + 1e-4)
+        << "outcome " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WeightShapes, AliasSamplingFidelity,
+    ::testing::Values(std::vector<double>{1, 1, 1, 1},
+                      std::vector<double>{10, 1, 0.1},
+                      std::vector<double>{0.5, 0, 0.5, 3},
+                      std::vector<double>{1e-6, 1, 1e6}));
+
+}  // namespace
+}  // namespace ltnc

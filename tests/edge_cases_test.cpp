@@ -1,0 +1,213 @@
+// Edge-case and adversarial-input coverage across the stack: degenerate
+// sizes (k = 1, empty payloads), post-completion behaviour, width
+// mismatches, long-chain stress on the component forest, and codec-level
+// soundness of the feedback decision against a GF(2) rank oracle.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/ltnc_codec.hpp"
+#include "gf2/gf2_matrix.hpp"
+#include "lt/bp_decoder.hpp"
+#include "lt/lt_encoder.hpp"
+#include "rlnc/rlnc_codec.hpp"
+#include "wc/wc_node.hpp"
+
+namespace ltnc {
+namespace {
+
+TEST(EdgeCases, KEqualsOneEverywhere) {
+  const auto natives = lt::make_native_payloads(1, 8, 1);
+  // LT decode.
+  lt::BpDecoder dec(1, 8);
+  EXPECT_EQ(dec.receive(CodedPacket::native(1, 0, natives[0])),
+            lt::ReceiveResult::kDecodedNative);
+  EXPECT_TRUE(dec.complete());
+  // LTNC recode of a single-block content.
+  core::LtncConfig cfg;
+  cfg.k = 1;
+  cfg.payload_bytes = 8;
+  core::LtncCodec codec(cfg);
+  codec.receive(CodedPacket::native(1, 0, natives[0]));
+  EXPECT_TRUE(codec.complete());
+  Rng rng(2);
+  const auto pkt = codec.recode(rng);
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->degree(), 1u);
+  EXPECT_EQ(pkt->payload, natives[0]);
+}
+
+TEST(EdgeCases, ZeroBytePayloads) {
+  // Control-plane-only usage (e.g. membership tests) must work with m = 0.
+  constexpr std::size_t k = 16;
+  lt::LtEncoder enc(lt::make_native_payloads(k, 0, 3));
+  lt::BpDecoder dec(k, 0);
+  Rng rng(4);
+  std::size_t guard = 0;
+  while (!dec.complete() && ++guard < 20 * k) dec.receive(enc.encode(rng));
+  EXPECT_TRUE(dec.complete());
+}
+
+TEST(EdgeCases, WidthMismatchesThrow) {
+  lt::BpDecoder dec(16, 8);
+  CodedPacket wrong_k{BitVector::unit(8, 0), Payload(8)};
+  EXPECT_THROW(dec.receive(wrong_k), std::logic_error);
+  CodedPacket wrong_m{BitVector::unit(16, 0), Payload(4)};
+  EXPECT_THROW(dec.receive(wrong_m), std::logic_error);
+
+  gf2::OnlineGaussianSolver solver(16, 8);
+  EXPECT_THROW(solver.insert(wrong_k), std::logic_error);
+  EXPECT_THROW((void)solver.is_innovative(BitVector(8)), std::logic_error);
+}
+
+TEST(EdgeCases, FullDegreePacket) {
+  // A packet combining every native must store and eventually resolve.
+  constexpr std::size_t k = 8;
+  const auto natives = lt::make_native_payloads(k, 8, 5);
+  lt::BpDecoder dec(k, 8);
+  CodedPacket everything{BitVector(k), Payload(8)};
+  for (std::size_t i = 0; i < k; ++i) {
+    everything.coeffs.set(i);
+    everything.payload.xor_with(natives[i]);
+  }
+  EXPECT_EQ(dec.receive(everything), lt::ReceiveResult::kStored);
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    dec.receive(CodedPacket::native(k, i, natives[i]));
+  }
+  // The stored degree-k packet must have rippled the last native.
+  EXPECT_TRUE(dec.complete());
+  EXPECT_EQ(dec.native_payload(k - 1), natives[k - 1]);
+}
+
+TEST(EdgeCases, ReceiveAfterCompleteIsHarmless) {
+  constexpr std::size_t k = 16;
+  const auto natives = lt::make_native_payloads(k, 8, 6);
+  core::LtncConfig cfg;
+  cfg.k = k;
+  cfg.payload_bytes = 8;
+  core::LtncCodec codec(cfg);
+  for (std::size_t i = 0; i < k; ++i) {
+    codec.receive(CodedPacket::native(k, i, natives[i]));
+  }
+  ASSERT_TRUE(codec.complete());
+  // Anything arriving now is a duplicate; the store must stay empty.
+  lt::LtEncoder enc(lt::make_native_payloads(k, 8, 6));
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const CodedPacket pkt = enc.encode(rng);
+    EXPECT_TRUE(codec.would_reject(pkt.coeffs));
+    EXPECT_EQ(codec.receive(pkt), lt::ReceiveResult::kDuplicate);
+  }
+  EXPECT_EQ(codec.stored_count(), 0u);
+}
+
+TEST(EdgeCases, RecodeAfterCompleteIsSourceQuality) {
+  // A complete node is equivalent to the source: its recoded packets must
+  // follow the Robust Soliton head closely.
+  constexpr std::size_t k = 64;
+  const auto natives = lt::make_native_payloads(k, 8, 8);
+  core::LtncConfig cfg;
+  cfg.k = k;
+  cfg.payload_bytes = 8;
+  core::LtncCodec codec(cfg);
+  for (std::size_t i = 0; i < k; ++i) {
+    codec.receive(CodedPacket::native(k, i, natives[i]));
+  }
+  ASSERT_TRUE(codec.complete());
+  Rng rng(9);
+  const lt::RobustSoliton rs(k);
+  std::vector<int> counts(k + 1, 0);
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto pkt = codec.recode(rng);
+    ASSERT_TRUE(pkt.has_value());
+    ++counts[pkt->degree()];
+    // Payload correctness on every emitted packet.
+    Payload expected(8);
+    pkt->coeffs.for_each_set(
+        [&](std::size_t j) { expected.xor_with(natives[j]); });
+    ASSERT_EQ(pkt->payload, expected);
+  }
+  for (std::size_t d = 1; d <= 3; ++d) {
+    EXPECT_NEAR(static_cast<double>(counts[d]) / kSamples, rs.probability(d),
+                0.02)
+        << "degree " << d;
+  }
+}
+
+TEST(EdgeCases, DeepChainPathCompression) {
+  // A 1000-native chain: materialising the two far ends must produce the
+  // exact XOR and stay fast thanks to path compression.
+  constexpr std::size_t k = 1000;
+  const auto natives = lt::make_native_payloads(k, 32, 10);
+  core::ComponentTracker cc(k, 32, [&](NativeIndex) -> const Payload& {
+    static const Payload dummy(32);
+    return dummy;
+  });
+  OpCounters ops;
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    Payload edge = natives[i];
+    edge.xor_with(natives[i + 1]);
+    cc.add_edge(static_cast<NativeIndex>(i), static_cast<NativeIndex>(i + 1),
+                edge, ops);
+  }
+  Payload expected = natives[0];
+  expected.xor_with(natives[k - 1]);
+  EXPECT_EQ(cc.materialize(0, k - 1, ops), expected);
+  // Second query hits the compressed paths: orders of magnitude cheaper.
+  OpCounters second;
+  EXPECT_EQ(cc.materialize(0, k - 1, second), expected);
+  EXPECT_LT(second.control_steps, 10u);
+}
+
+TEST(EdgeCases, WouldRejectIsSoundAgainstRankOracle) {
+  // Codec-level soundness: whenever LTNC's feedback refuses a packet, that
+  // packet must be provably non-innovative (in the span of everything the
+  // node accepted). The converse is deliberately false — the overhead of
+  // Fig. 7c is exactly the accepted-but-useless traffic.
+  constexpr std::size_t k = 48;
+  lt::LtEncoder enc(lt::make_native_payloads(k, 8, 11));
+  core::LtncConfig cfg;
+  cfg.k = k;
+  cfg.payload_bytes = 8;
+  core::LtncCodec codec(cfg);
+  gf2::GF2Matrix accepted(k);
+  Rng rng(12);
+  std::size_t rejections_checked = 0;
+  for (int i = 0; i < 600; ++i) {
+    const CodedPacket pkt = enc.encode(rng);
+    if (codec.would_reject(pkt.coeffs)) {
+      ++rejections_checked;
+      ASSERT_TRUE(accepted.in_row_space(pkt.coeffs))
+          << "rejected an innovative packet: " << pkt.coeffs.to_string();
+      continue;  // feedback channel aborts the transfer
+    }
+    codec.receive(pkt);
+    accepted.append_row(pkt.coeffs);
+  }
+  EXPECT_GT(rejections_checked, 0u);
+}
+
+TEST(EdgeCases, RlncZeroPayload) {
+  rlnc::RlncConfig cfg;
+  cfg.k = 8;
+  cfg.payload_bytes = 0;
+  rlnc::RlncCodec codec(cfg);
+  for (std::size_t i = 0; i < 8; ++i) {
+    codec.receive(CodedPacket{BitVector::unit(8, i), Payload(0)});
+  }
+  EXPECT_TRUE(codec.complete());
+}
+
+TEST(EdgeCases, WcSingleNative) {
+  wc::WcConfig cfg;
+  cfg.k = 1;
+  cfg.payload_bytes = 8;
+  wc::WcNode node(cfg);
+  node.receive(CodedPacket::native(1, 0, Payload::deterministic(8, 1, 0)));
+  EXPECT_TRUE(node.complete());
+}
+
+}  // namespace
+}  // namespace ltnc

@@ -1,0 +1,78 @@
+#include "common/fenwick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ltnc {
+namespace {
+
+TEST(Fenwick, EmptyTreeSumsToZero) {
+  const Fenwick<int> f(0);
+  EXPECT_EQ(f.total(), 0);
+}
+
+TEST(Fenwick, PointUpdatesAccumulate) {
+  Fenwick<int> f(8);
+  f.add(0, 3);
+  f.add(7, 4);
+  f.add(3, -1);
+  EXPECT_EQ(f.prefix_sum(0), 3);
+  EXPECT_EQ(f.prefix_sum(2), 3);
+  EXPECT_EQ(f.prefix_sum(3), 2);
+  EXPECT_EQ(f.prefix_sum(7), 6);
+  EXPECT_EQ(f.total(), 6);
+}
+
+TEST(Fenwick, PrefixBeyondEndClamps) {
+  Fenwick<int> f(4);
+  f.add(3, 5);
+  EXPECT_EQ(f.prefix_sum(100), 5);
+}
+
+TEST(Fenwick, RangeSum) {
+  Fenwick<int> f(10);
+  for (std::size_t i = 0; i < 10; ++i) f.add(i, static_cast<int>(i));
+  EXPECT_EQ(f.range_sum(2, 4), 2 + 3 + 4);
+  EXPECT_EQ(f.range_sum(0, 9), 45);
+  EXPECT_EQ(f.range_sum(5, 5), 5);
+  EXPECT_EQ(f.range_sum(6, 2), 0);  // empty range
+}
+
+TEST(Fenwick, ResizeClears) {
+  Fenwick<int> f(4);
+  f.add(1, 7);
+  f.resize(6);
+  EXPECT_EQ(f.total(), 0);
+  f.add(5, 2);
+  EXPECT_EQ(f.total(), 2);
+}
+
+class FenwickRandomised : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FenwickRandomised, MatchesNaivePrefixSums) {
+  const std::size_t n = GetParam();
+  Fenwick<long long> f(n);
+  std::vector<long long> model(n, 0);
+  Rng rng(n * 31 + 7);
+  for (int step = 0; step < 1000; ++step) {
+    const std::size_t i = rng.uniform(n);
+    const long long delta =
+        static_cast<long long>(rng.uniform(200)) - 100;
+    f.add(i, delta);
+    model[i] += delta;
+    const std::size_t q = rng.uniform(n);
+    const long long expected =
+        std::accumulate(model.begin(), model.begin() + q + 1, 0LL);
+    ASSERT_EQ(f.prefix_sum(q), expected) << "n=" << n << " step=" << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FenwickRandomised,
+                         ::testing::Values(1, 2, 7, 64, 100));
+
+}  // namespace
+}  // namespace ltnc

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gf2/gaussian.hpp"
+#include "gf2/gf2_matrix.hpp"
+
+namespace ltnc::gf2 {
+namespace {
+
+BitVector rand_vec(std::size_t k, Rng& rng, std::size_t max_bits = 8) {
+  BitVector v(k);
+  const std::size_t bits = 1 + rng.uniform(max_bits);
+  for (std::size_t i = 0; i < bits; ++i) v.set(rng.uniform(k));
+  return v;
+}
+
+TEST(GF2Matrix, RankOfIdentity) {
+  GF2Matrix m(4);
+  for (std::size_t i = 0; i < 4; ++i) m.append_row(BitVector::unit(4, i));
+  EXPECT_EQ(m.rank(), 4u);
+}
+
+TEST(GF2Matrix, RankOfDependentRows) {
+  GF2Matrix m(4);
+  m.append_row(BitVector::from_indices(4, {0, 1}));
+  m.append_row(BitVector::from_indices(4, {1, 2}));
+  m.append_row(BitVector::from_indices(4, {0, 2}));  // sum of the other two
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(GF2Matrix, ZeroRowsDoNotCount) {
+  GF2Matrix m(4);
+  m.append_row(BitVector(4));
+  m.append_row(BitVector::unit(4, 2));
+  EXPECT_EQ(m.rank(), 1u);
+}
+
+TEST(GF2Matrix, InRowSpace) {
+  GF2Matrix m(5);
+  m.append_row(BitVector::from_indices(5, {0, 1}));
+  m.append_row(BitVector::from_indices(5, {1, 2}));
+  EXPECT_TRUE(m.in_row_space(BitVector::from_indices(5, {0, 2})));
+  EXPECT_TRUE(m.in_row_space(BitVector(5)));  // zero always in span
+  EXPECT_FALSE(m.in_row_space(BitVector::unit(5, 0)));
+  EXPECT_FALSE(m.in_row_space(BitVector::unit(5, 4)));
+}
+
+TEST(OnlineGaussianSolver, DetectsRedundantExactly) {
+  // Cross-check the incremental solver against the brute-force matrix on
+  // random instances.
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t k = 24;
+    OnlineGaussianSolver solver(k, 8);
+    GF2Matrix oracle(k);
+    for (int p = 0; p < 40; ++p) {
+      const BitVector v = rand_vec(k, rng);
+      const bool innovative_oracle = !oracle.in_row_space(v);
+      EXPECT_EQ(solver.is_innovative(v), innovative_oracle);
+      const auto res = solver.insert(CodedPacket{v, Payload(8)});
+      EXPECT_EQ(res == OnlineGaussianSolver::Insert::kInnovative,
+                innovative_oracle);
+      oracle.append_row(v);
+      EXPECT_EQ(solver.rank(), oracle.rank());
+    }
+  }
+}
+
+TEST(OnlineGaussianSolver, DecodesPayloads) {
+  constexpr std::size_t k = 16;
+  constexpr std::size_t m = 32;
+  std::vector<Payload> natives;
+  for (std::size_t i = 0; i < k; ++i) {
+    natives.push_back(Payload::deterministic(m, 5, i));
+  }
+  Rng rng(3);
+  OnlineGaussianSolver solver(k, m);
+  while (!solver.complete()) {
+    BitVector v(k);
+    Payload p(m);
+    for (std::size_t i = 0; i < k; ++i) {
+      if (rng.chance(0.5)) {
+        v.set(i);
+        p.xor_with(natives[i]);
+      }
+    }
+    if (v.none()) continue;
+    solver.insert(CodedPacket{v, p});
+  }
+  solver.back_substitute();
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_TRUE(solver.native_known(i));
+    EXPECT_EQ(solver.native_payload(i), natives[i]) << "native " << i;
+  }
+}
+
+TEST(OnlineGaussianSolver, BackSubstituteRequiresFullRank) {
+  OnlineGaussianSolver solver(4, 4);
+  solver.insert(CodedPacket{BitVector::unit(4, 0), Payload(4)});
+  EXPECT_THROW(solver.back_substitute(), std::logic_error);
+}
+
+TEST(OnlineGaussianSolver, NativeKnownBeforeCompletion) {
+  OnlineGaussianSolver solver(4, 0);
+  solver.insert(CodedPacket{BitVector::unit(4, 1), Payload(0)});
+  solver.insert(CodedPacket{BitVector::from_indices(4, {2, 3}), Payload(0)});
+  EXPECT_TRUE(solver.native_known(1));
+  EXPECT_FALSE(solver.native_known(2));
+  EXPECT_FALSE(solver.native_known(0));
+}
+
+TEST(OnlineGaussianSolver, CountsOps) {
+  OnlineGaussianSolver solver(64, 64);
+  solver.insert(CodedPacket{BitVector::from_indices(64, {0, 1}), Payload(64)});
+  solver.insert(CodedPacket{BitVector::from_indices(64, {0, 2}), Payload(64)});
+  EXPECT_GT(solver.ops().control_word_ops, 0u);
+  EXPECT_GT(solver.ops().data_word_ops, 0u);
+  EXPECT_EQ(solver.ops().invocations, 2u);
+}
+
+TEST(RankOf, Helper) {
+  EXPECT_EQ(rank_of({}), 0u);
+  EXPECT_EQ(rank_of({BitVector::unit(3, 0), BitVector::unit(3, 0)}), 1u);
+}
+
+}  // namespace
+}  // namespace ltnc::gf2

@@ -1,0 +1,95 @@
+#include "lt/lt_encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace ltnc::lt {
+namespace {
+
+LtEncoder make_encoder(std::size_t k, std::size_t m = 16,
+                       std::uint64_t seed = 1) {
+  return LtEncoder(make_native_payloads(k, m, seed));
+}
+
+TEST(LtEncoder, PayloadIsXorOfChosenNatives) {
+  auto enc = make_encoder(32);
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const CodedPacket pkt = enc.encode(rng);
+    Payload expected(16);
+    pkt.coeffs.for_each_set(
+        [&](std::size_t i) { expected.xor_with(enc.native(i)); });
+    EXPECT_EQ(pkt.payload, expected);
+  }
+}
+
+TEST(LtEncoder, DegreeMatchesRequest) {
+  auto enc = make_encoder(64);
+  Rng rng(3);
+  for (std::size_t d : {1u, 2u, 5u, 63u, 64u}) {
+    const CodedPacket pkt = enc.encode_with_degree(rng, d);
+    EXPECT_EQ(pkt.degree(), d);
+  }
+}
+
+TEST(LtEncoder, DegreeOutOfRangeThrows) {
+  auto enc = make_encoder(8);
+  Rng rng(4);
+  EXPECT_THROW(enc.encode_with_degree(rng, 0), std::logic_error);
+  EXPECT_THROW(enc.encode_with_degree(rng, 9), std::logic_error);
+}
+
+TEST(LtEncoder, EmpiricalDegreeFollowsRobustSoliton) {
+  auto enc = make_encoder(128, 0);
+  Rng rng(5);
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(129, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[enc.encode(rng).degree()];
+  const auto& rs = enc.distribution();
+  for (std::size_t d : {1u, 2u, 3u, 4u, 10u}) {
+    const double expected = rs.probability(d);
+    const double observed =
+        static_cast<double>(counts[d]) / static_cast<double>(kSamples);
+    const double sigma = std::sqrt(expected * (1 - expected) / kSamples);
+    EXPECT_NEAR(observed, expected, 5 * sigma + 1e-4) << "degree " << d;
+  }
+}
+
+TEST(LtEncoder, UniformNativeSelection) {
+  // Every native should appear in roughly the same number of packets.
+  const std::size_t k = 32;
+  auto enc = make_encoder(k, 0);
+  Rng rng(6);
+  std::vector<int> hits(k, 0);
+  constexpr int kSamples = 60000;
+  for (int i = 0; i < kSamples; ++i) {
+    enc.encode(rng).coeffs.for_each_set([&](std::size_t j) { ++hits[j]; });
+  }
+  const double mean =
+      std::accumulate(hits.begin(), hits.end(), 0.0) / static_cast<double>(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    EXPECT_NEAR(hits[j], mean, 6.0 * std::sqrt(mean)) << "native " << j;
+  }
+}
+
+TEST(LtEncoder, RequiresUniformNativeSizes) {
+  std::vector<Payload> natives;
+  natives.push_back(Payload(8));
+  natives.push_back(Payload(16));
+  EXPECT_THROW(LtEncoder enc(std::move(natives)), std::logic_error);
+}
+
+TEST(LtEncoder, MakeNativePayloadsDeterministic) {
+  const auto a = make_native_payloads(4, 8, 7);
+  const auto b = make_native_payloads(4, 8, 7);
+  ASSERT_EQ(a.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(a[i], b[i]);
+  EXPECT_NE(a[0], a[1]);
+}
+
+}  // namespace
+}  // namespace ltnc::lt

@@ -1,0 +1,88 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ltnc {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(77);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.uniform(kBound)];
+  for (std::uint64_t v = 0; v < kBound; ++v) {
+    // Expected 10000 ± ~5σ (σ ≈ 95).
+    EXPECT_GT(counts[v], 9000) << "value " << v;
+    EXPECT_LT(counts[v], 11000) << "value " << v;
+  }
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(11);
+  Rng child = parent.fork();
+  // The child should not replay the parent's stream.
+  Rng parent2(11);
+  (void)parent2.next();  // same position as parent after fork
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (child.next() == parent2.next());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  // Regression pin: reseeding must stay stable across refactors, otherwise
+  // every recorded experiment changes silently.
+  SplitMix64 sm(0);
+  const std::uint64_t first = sm.next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(first, sm2.next());
+  EXPECT_NE(first, sm.next());
+}
+
+}  // namespace
+}  // namespace ltnc

@@ -1,0 +1,149 @@
+#include "core/smart_constructor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/ltnc_codec.hpp"
+#include "lt/lt_encoder.hpp"
+
+namespace ltnc::core {
+namespace {
+
+constexpr std::size_t kM = 8;
+
+LtncConfig config(std::size_t k) {
+  LtncConfig cfg;
+  cfg.k = k;
+  cfg.payload_bytes = kM;
+  return cfg;
+}
+
+CodedPacket make_packet(std::size_t k, std::vector<std::size_t> idx,
+                        const std::vector<Payload>& natives) {
+  CodedPacket pkt{BitVector::from_indices(k, idx), Payload(kM)};
+  for (std::size_t i : idx) pkt.payload.xor_with(natives[i]);
+  return pkt;
+}
+
+TEST(SmartConstructor, Degree1FindsMissingNative) {
+  constexpr std::size_t k = 8;
+  const auto natives = lt::make_native_payloads(k, kM, 3);
+  LtncCodec sender(config(k));
+  LtncCodec receiver(config(k));
+  sender.receive(make_packet(k, {2}, natives));
+  sender.receive(make_packet(k, {5}, natives));
+  receiver.receive(make_packet(k, {2}, natives));
+
+  SmartConstructor smart(sender.decoder(), sender.components());
+  OpCounters ops;
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const auto pkt =
+        smart.construct_degree1(receiver.component_leaders(), rng, ops);
+    ASSERT_TRUE(pkt.has_value());
+    // Only x5 is decoded here and missing there.
+    EXPECT_EQ(pkt->coeffs, BitVector::unit(k, 5));
+    EXPECT_EQ(pkt->payload, natives[5]);
+    EXPECT_FALSE(receiver.would_reject(pkt->coeffs));
+  }
+}
+
+TEST(SmartConstructor, Degree1NoneWhenReceiverAhead) {
+  constexpr std::size_t k = 8;
+  const auto natives = lt::make_native_payloads(k, kM, 4);
+  LtncCodec sender(config(k));
+  LtncCodec receiver(config(k));
+  sender.receive(make_packet(k, {1}, natives));
+  receiver.receive(make_packet(k, {1}, natives));
+  SmartConstructor smart(sender.decoder(), sender.components());
+  OpCounters ops;
+  Rng rng(2);
+  EXPECT_FALSE(
+      smart.construct_degree1(receiver.component_leaders(), rng, ops)
+          .has_value());
+}
+
+TEST(SmartConstructor, Degree2PaperFigure6) {
+  // Fig. 6 (0-based): sender components {x1}{x2,x4}{x3,x5,x7}{x6 decoded};
+  // receiver components {x2,x4}{x3}{x5,x7,x1}{x6 decoded}. Sender's
+  // {x3,x5,x7} overlaps receiver's {x3} and {x5,x7}: an innovative
+  // degree-2 packet exists (e.g. x3 ⊕ x5).
+  constexpr std::size_t k = 7;
+  const auto natives = lt::make_native_payloads(k, kM, 5);
+  LtncCodec sender(config(k));
+  LtncCodec receiver(config(k));
+  // Sender: x2⊕x4 (1,3); x3⊕x5 (2,4); x5⊕x7 (4,6); x6 (5) decoded.
+  sender.receive(make_packet(k, {1, 3}, natives));
+  sender.receive(make_packet(k, {2, 4}, natives));
+  sender.receive(make_packet(k, {4, 6}, natives));
+  sender.receive(make_packet(k, {5}, natives));
+  // Receiver: x2⊕x4; x5⊕x7; x1⊕x5 (0,4); x6 decoded.
+  receiver.receive(make_packet(k, {1, 3}, natives));
+  receiver.receive(make_packet(k, {4, 6}, natives));
+  receiver.receive(make_packet(k, {0, 4}, natives));
+  receiver.receive(make_packet(k, {5}, natives));
+
+  SmartConstructor smart(sender.decoder(), sender.components());
+  OpCounters ops;
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    const auto pkt =
+        smart.construct_degree2(receiver.component_leaders(), rng, ops);
+    ASSERT_TRUE(pkt.has_value());
+    EXPECT_EQ(pkt->degree(), 2u);
+    // The packet must be generable at the sender…
+    const auto idx = pkt->coeffs.indices();
+    ASSERT_EQ(idx.size(), 2u);
+    EXPECT_TRUE(sender.components().connected(
+        static_cast<NativeIndex>(idx[0]), static_cast<NativeIndex>(idx[1])));
+    // …and genuinely innovative at the receiver.
+    EXPECT_FALSE(receiver.would_reject(pkt->coeffs));
+    // Payload correctness.
+    Payload expected = natives[idx[0]];
+    expected.xor_with(natives[idx[1]]);
+    EXPECT_EQ(pkt->payload, expected);
+  }
+}
+
+TEST(SmartConstructor, Degree2NoneWhenMappingConsistent) {
+  constexpr std::size_t k = 6;
+  const auto natives = lt::make_native_payloads(k, kM, 6);
+  LtncCodec sender(config(k));
+  LtncCodec receiver(config(k));
+  // Identical component structure on both sides.
+  for (auto* node : {&sender, &receiver}) {
+    node->receive(make_packet(k, {0, 1}, natives));
+    node->receive(make_packet(k, {2, 3}, natives));
+  }
+  SmartConstructor smart(sender.decoder(), sender.components());
+  OpCounters ops;
+  Rng rng(4);
+  EXPECT_FALSE(
+      smart.construct_degree2(receiver.component_leaders(), rng, ops)
+          .has_value());
+}
+
+TEST(SmartConstructor, RecodeForFallsBackToPlainRecode) {
+  constexpr std::size_t k = 16;
+  const auto natives = lt::make_native_payloads(k, kM, 7);
+  LtncCodec sender(config(k));
+  LtncCodec receiver(config(k));
+  // Sender has only one big degree-5 packet: smart construction (deg 1/2)
+  // is impossible, but recode_for must still produce something.
+  sender.receive(make_packet(k, {0, 1, 2, 3, 4}, natives));
+  Rng rng(5);
+  bool emitted = false;
+  for (int i = 0; i < 50; ++i) {
+    const auto pkt = sender.recode_for(receiver.component_leaders(), rng);
+    if (pkt.has_value()) {
+      emitted = true;
+      EXPECT_GE(pkt->degree(), 1u);
+    }
+  }
+  EXPECT_TRUE(emitted);
+}
+
+}  // namespace
+}  // namespace ltnc::core

@@ -1,0 +1,53 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ltnc {
+namespace {
+
+TEST(TextTable, RejectsEmptyHeaderAndRaggedRows) {
+  EXPECT_THROW(TextTable({}), std::logic_error);
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(TextTable, FormatsNumbers) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::integer(-42), "-42");
+}
+
+TEST(TextTable, PrintsAlignedBox) {
+  TextTable t({"k", "value"});
+  t.add_row({"512", "1.5"});
+  t.add_row({"2048", "10.25"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| k    |"), std::string::npos);
+  EXPECT_NE(out.find("512"), std::string::npos);
+  EXPECT_NE(out.find("10.25"), std::string::npos);
+  // Box rules present.
+  EXPECT_NE(out.find("+------+"), std::string::npos);
+}
+
+TEST(TextTable, PrintsCsv) {
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace ltnc

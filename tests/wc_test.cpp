@@ -1,0 +1,179 @@
+#include "wc/wc_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lt/lt_encoder.hpp"
+
+namespace ltnc::wc {
+namespace {
+
+constexpr std::size_t kM = 16;
+
+WcConfig config(std::size_t k, std::size_t buffer = 0, std::size_t fanout = 0) {
+  WcConfig cfg;
+  cfg.k = k;
+  cfg.payload_bytes = kM;
+  cfg.buffer_capacity = buffer;
+  cfg.fanout = fanout;
+  return cfg;
+}
+
+TEST(WcNode, ReceivesNativesAndDetectsDuplicates) {
+  const auto natives = lt::make_native_payloads(8, kM, 1);
+  WcNode node(config(8));
+  EXPECT_EQ(node.receive(CodedPacket::native(8, 3, natives[3])),
+            WcNode::Receive::kInnovative);
+  EXPECT_EQ(node.receive(CodedPacket::native(8, 3, natives[3])),
+            WcNode::Receive::kDuplicate);
+  EXPECT_TRUE(node.would_reject(BitVector::unit(8, 3)));
+  EXPECT_FALSE(node.would_reject(BitVector::unit(8, 4)));
+  EXPECT_EQ(node.received_count(), 1u);
+  EXPECT_EQ(node.native_payload(3), natives[3]);
+}
+
+TEST(WcNode, RejectsEncodedPackets) {
+  const auto natives = lt::make_native_payloads(8, kM, 2);
+  WcNode node(config(8));
+  CodedPacket enc{BitVector::from_indices(8, {0, 1}), Payload(kM)};
+  EXPECT_THROW(node.receive(enc), std::logic_error);
+}
+
+TEST(WcNode, EmitsLeastSentFirst) {
+  const auto natives = lt::make_native_payloads(8, kM, 3);
+  WcNode node(config(8));
+  node.receive(CodedPacket::native(8, 0, natives[0]));
+  Rng rng(4);
+  // First emit sends native 0; after receiving native 1, the least-sent
+  // entry is 1.
+  auto p1 = node.emit(rng);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(p1->coeffs.first_set(), 0u);
+  node.receive(CodedPacket::native(8, 1, natives[1]));
+  auto p2 = node.emit(rng);
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->coeffs.first_set(), 1u);
+}
+
+TEST(WcNode, EmitEmptyBufferReturnsNothing) {
+  WcNode node(config(8));
+  Rng rng(5);
+  EXPECT_FALSE(node.emit(rng).has_value());
+}
+
+TEST(WcNode, BufferEvictsOldest) {
+  const auto natives = lt::make_native_payloads(8, kM, 6);
+  WcNode node(config(8, /*buffer=*/2));
+  node.receive(CodedPacket::native(8, 0, natives[0]));
+  node.receive(CodedPacket::native(8, 1, natives[1]));
+  node.receive(CodedPacket::native(8, 2, natives[2]));  // evicts native 0
+  EXPECT_EQ(node.buffered(), 2u);
+  Rng rng(7);
+  std::set<std::size_t> emitted;
+  for (int i = 0; i < 10; ++i) {
+    const auto p = node.emit(rng);
+    ASSERT_TRUE(p.has_value());
+    emitted.insert(p->coeffs.first_set());
+  }
+  EXPECT_FALSE(emitted.contains(0));  // evicted entries never re-emitted
+  // The content itself is still held (the buffer governs forwarding only).
+  EXPECT_TRUE(node.has_native(0));
+}
+
+TEST(WcNode, FanoutCapRetiresEntries) {
+  const auto natives = lt::make_native_payloads(8, kM, 8);
+  WcNode node(config(8, 0, /*fanout=*/3));
+  node.receive(CodedPacket::native(8, 0, natives[0]));
+  Rng rng(9);
+  int emitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (node.emit(rng).has_value()) ++emitted;
+  }
+  EXPECT_EQ(emitted, 3);
+  EXPECT_EQ(node.buffered(), 0u);
+}
+
+TEST(WcNode, CompletesAfterAllNatives) {
+  const std::size_t k = 16;
+  const auto natives = lt::make_native_payloads(k, kM, 10);
+  WcNode node(config(k));
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_FALSE(node.complete());
+    node.receive(CodedPacket::native(k, i, natives[i]));
+  }
+  EXPECT_TRUE(node.complete());
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(node.native_payload(i), natives[i]);
+  }
+}
+
+TEST(WcNode, EmissionCountsStayBalanced) {
+  // Least-sent-first means after many emits the per-native send counts
+  // can differ by at most one.
+  const std::size_t k = 8;
+  const auto natives = lt::make_native_payloads(k, kM, 20);
+  WcNode node(config(k));
+  for (std::size_t i = 0; i < 5; ++i) {
+    node.receive(CodedPacket::native(k, i, natives[i]));
+  }
+  Rng rng(21);
+  std::vector<int> sent(k, 0);
+  for (int e = 0; e < 5 * 7 + 3; ++e) {  // a non-multiple of the buffer size
+    const auto p = node.emit(rng);
+    ASSERT_TRUE(p.has_value());
+    ++sent[p->coeffs.first_set()];
+  }
+  int lo = 1 << 30;
+  int hi = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    lo = std::min(lo, sent[i]);
+    hi = std::max(hi, sent[i]);
+  }
+  EXPECT_LE(hi - lo, 1);
+  for (std::size_t i = 5; i < k; ++i) EXPECT_EQ(sent[i], 0);
+}
+
+TEST(WcNode, LateArrivalsGetPriority) {
+  // A fresh native (times_sent = 0) must be emitted before older entries
+  // that were already forwarded.
+  const std::size_t k = 4;
+  const auto natives = lt::make_native_payloads(k, kM, 22);
+  WcNode node(config(k));
+  node.receive(CodedPacket::native(k, 0, natives[0]));
+  Rng rng(23);
+  (void)node.emit(rng);  // native 0 now at times_sent = 1
+  node.receive(CodedPacket::native(k, 2, natives[2]));
+  const auto p = node.emit(rng);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->coeffs.first_set(), 2u);
+}
+
+TEST(WcNode, GossipPairExchanges) {
+  // Two nodes with disjoint halves swap until both are complete.
+  const std::size_t k = 16;
+  const auto natives = lt::make_native_payloads(k, kM, 11);
+  WcNode a(config(k));
+  WcNode b(config(k));
+  for (std::size_t i = 0; i < k; ++i) {
+    (i < k / 2 ? a : b).receive(CodedPacket::native(k, i, natives[i]));
+  }
+  Rng rng(12);
+  for (int round = 0; round < 500 && !(a.complete() && b.complete());
+       ++round) {
+    if (const auto p = a.emit(rng)) {
+      if (!b.would_reject(p->coeffs)) b.receive(*p);
+    }
+    if (const auto p = b.emit(rng)) {
+      if (!a.would_reject(p->coeffs)) a.receive(*p);
+    }
+  }
+  EXPECT_TRUE(a.complete());
+  EXPECT_TRUE(b.complete());
+}
+
+}  // namespace
+}  // namespace ltnc::wc
