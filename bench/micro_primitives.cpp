@@ -1,15 +1,23 @@
 // Micro-benchmarks for the substrate primitives the codecs are built on —
 // regressions here silently shift every figure, so they are pinned
-// separately: BitVector word ops, alias sampling, Fenwick updates,
-// Gaussian row reduction, BP reception.
+// separately: the GF(2) kernel layer (scalar vs dispatched SIMD, sized
+// like real payloads), BitVector word ops, alias sampling, Fenwick
+// updates, Gaussian row reduction, BP reception.
+//
+// Unless --benchmark_out is given explicitly, results are also written to
+// BENCH_kernels.json (google-benchmark JSON) so successive PRs can track
+// the kernel-throughput trajectory.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/bitvector.hpp"
 #include "common/discrete_distribution.hpp"
 #include "common/fenwick.hpp"
+#include "common/kernels.hpp"
 #include "common/rng.hpp"
 #include "gf2/gaussian.hpp"
 #include "lt/bp_decoder.hpp"
@@ -19,6 +27,138 @@
 namespace {
 
 using namespace ltnc;
+
+// ---------------------------------------------------------------------------
+// Kernel layer: every primitive at payload sizes m = 1 KB … 256 KB, once
+// through the pinned scalar reference and once through the dispatched
+// SIMD backend, so the speedup is visible in one run.
+//
+// Throughput convention: bytes_per_second counts the logical block size
+// (m) once per iteration for every kernel, regardless of how many streams
+// it reads — so GB/s figures are comparable across kernels.
+// ---------------------------------------------------------------------------
+
+const kernels::Ops& backend(bool scalar) {
+  return scalar ? kernels::scalar_ops() : kernels::ops();
+}
+
+std::vector<std::uint64_t> random_block(std::uint64_t seed, std::size_t n) {
+  SplitMix64 sm(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& w : v) w = sm.next();
+  return v;
+}
+
+void BM_Kernel_Xor(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0)) / 8;
+  const auto& ops = backend(state.range(1) != 0);
+  auto dst = random_block(1, n);
+  const auto src = random_block(2, n);
+  for (auto _ : state) {
+    ops.xor_words(dst.data(), src.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * 8));
+}
+
+void BM_Kernel_Popcount(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0)) / 8;
+  const auto& ops = backend(state.range(1) != 0);
+  const auto src = random_block(3, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.popcount_words(src.data(), n));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * 8));
+}
+
+void BM_Kernel_PopcountXor(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0)) / 8;
+  const auto& ops = backend(state.range(1) != 0);
+  const auto a = random_block(4, n);
+  const auto b = random_block(5, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.popcount_xor_words(a.data(), b.data(), n));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * 8));
+}
+
+void BM_Kernel_AndNot(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0)) / 8;
+  const auto& ops = backend(state.range(1) != 0);
+  auto dst = random_block(6, n);
+  const auto src = random_block(7, n);
+  for (auto _ : state) {
+    ops.and_not_words(dst.data(), src.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * 8));
+}
+
+void BM_Kernel_PopcountAndNot(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0)) / 8;
+  const auto& ops = backend(state.range(1) != 0);
+  const auto a = random_block(8, n);
+  const auto b = random_block(9, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops.popcount_and_not_words(a.data(), b.data(), n));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * 8));
+}
+
+void BM_Kernel_Any(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0)) / 8;
+  const auto& ops = backend(state.range(1) != 0);
+  // Worst case: all zero, the whole block must be scanned.
+  const std::vector<std::uint64_t> src(n, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.any_words(src.data(), n));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * 8));
+}
+
+void BM_Kernel_XorAccumulate8(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0)) / 8;
+  const auto& ops = backend(state.range(1) != 0);
+  constexpr std::size_t kSources = 8;
+  auto dst = random_block(10, n);
+  std::vector<std::vector<std::uint64_t>> sources;
+  std::vector<const std::uint64_t*> ptrs;
+  for (std::size_t s = 0; s < kSources; ++s) {
+    sources.push_back(random_block(11 + s, n));
+    ptrs.push_back(sources.back().data());
+  }
+  for (auto _ : state) {
+    ops.xor_accumulate(dst.data(), ptrs.data(), kSources, n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * 8));
+}
+
+void KernelSizes(benchmark::internal::Benchmark* b) {
+  // {payload bytes, 1 = scalar reference / 0 = dispatched backend}
+  for (std::int64_t scalar : {1, 0}) {
+    for (std::int64_t bytes : {1 << 10, 4 << 10, 16 << 10, 64 << 10,
+                               256 << 10}) {
+      b->Args({bytes, scalar});
+    }
+  }
+}
+
+BENCHMARK(BM_Kernel_Xor)->Apply(KernelSizes);
+BENCHMARK(BM_Kernel_Popcount)->Apply(KernelSizes);
+BENCHMARK(BM_Kernel_PopcountXor)->Apply(KernelSizes);
+BENCHMARK(BM_Kernel_AndNot)->Apply(KernelSizes);
+BENCHMARK(BM_Kernel_PopcountAndNot)->Apply(KernelSizes);
+BENCHMARK(BM_Kernel_Any)->Apply(KernelSizes);
+BENCHMARK(BM_Kernel_XorAccumulate8)->Apply(KernelSizes);
 
 void BM_BitVectorXor(benchmark::State& state) {
   const auto bits = static_cast<std::size_t>(state.range(0));
@@ -114,4 +254,32 @@ BENCHMARK(BM_BpReceive)->Arg(512)->Arg(2048);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: default --benchmark_out to BENCH_kernels.json so every run
+// leaves a machine-readable baseline for future PRs to diff against.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  bool filtered = false;
+  for (int i = 1; i < argc; ++i) {
+    // Exact flag only — "--benchmark_out_format" alone must not suppress
+    // the default baseline file.
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+    if (std::strncmp(argv[i], "--benchmark_filter", 18) == 0) filtered = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  // Only full runs refresh the baseline: a filtered run writing the
+  // default file would replace the committed baseline with a partial one.
+  if (!has_out && !filtered) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "common/arena.hpp"
+
+#include <bit>
+#include <new>
+
+#include "common/check.hpp"
+
+namespace ltnc {
+
+namespace {
+constexpr std::size_t kBlockAlignment = 64;  // cache line / AVX-512 friendly
+}
+
+WordArena::~WordArena() { trim(); }
+
+std::size_t WordArena::class_index(std::size_t words) {
+  return std::bit_width(words - 1);  // ceil(log2(words)); words >= 1
+}
+
+std::uint64_t* WordArena::lease(std::size_t words) {
+  std::uint64_t* ptr = lease_uninitialized(words);
+  if (ptr != nullptr) std::memset(ptr, 0, words * 8);
+  return ptr;
+}
+
+std::uint64_t* WordArena::lease_uninitialized(std::size_t words) {
+  if (words == 0) return nullptr;
+  ++stats_.leases;
+  stats_.live_words += words;
+  const std::size_t cls = class_index(words);
+  if (cls < free_lists_.size() && !free_lists_[cls].empty()) {
+    std::uint64_t* ptr = free_lists_[cls].back();
+    free_lists_[cls].pop_back();
+    ++stats_.recycled_blocks;
+    return ptr;
+  }
+  ++stats_.fresh_blocks;
+  return static_cast<std::uint64_t*>(::operator new(
+      class_words(cls) * 8, std::align_val_t{kBlockAlignment}));
+}
+
+void WordArena::release(std::uint64_t* ptr, std::size_t words) {
+  if (ptr == nullptr) return;
+  LTNC_DCHECK(words != 0);
+  ++stats_.releases;
+  stats_.live_words -= words;
+  const std::size_t cls = class_index(words);
+  if (free_lists_.size() <= cls) free_lists_.resize(cls + 1);
+  free_lists_[cls].push_back(ptr);
+}
+
+void WordArena::trim() {
+  for (auto& list : free_lists_) {
+    for (std::uint64_t* ptr : list) {
+      ::operator delete(ptr, std::align_val_t{kBlockAlignment});
+    }
+    list.clear();
+  }
+}
+
+WordArena& WordArena::local() {
+  // Leaked on purpose: BitVector/Payload statics may release during exit
+  // teardown, after a normally-destroyed thread_local would be gone.
+  static thread_local WordArena* arena = new WordArena;
+  return *arena;
+}
+
+}  // namespace ltnc

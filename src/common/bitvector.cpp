@@ -1,5 +1,6 @@
 #include "common/bitvector.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <sstream>
 
@@ -7,51 +8,48 @@ namespace ltnc {
 
 std::size_t BitVector::xor_with(const BitVector& other) {
   LTNC_CHECK_MSG(bits_ == other.bits_, "BitVector size mismatch in xor_with");
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] ^= other.words_[i];
-  }
+  kernels::xor_words(words_.data(), other.words_.data(), words_.size());
   return words_.size();
 }
 
+std::size_t BitVector::xor_accumulate(const BitVector* const* sources,
+                                      std::size_t count) {
+  kernels::xor_accumulate_batched(
+      words_.data(), words_.size(), count, [&](std::size_t s) {
+        const BitVector& src = *sources[s];
+        LTNC_CHECK_MSG(src.bits_ == bits_,
+                       "BitVector size mismatch in xor_accumulate");
+        return src.words_.data();
+      });
+  return words_.size() * count;
+}
+
 std::size_t BitVector::popcount() const {
-  std::size_t n = 0;
-  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
-  return n;
+  return kernels::popcount_words(words_.data(), words_.size());
 }
 
 std::size_t BitVector::popcount_xor(const BitVector& other) const {
   LTNC_CHECK_MSG(bits_ == other.bits_,
                  "BitVector size mismatch in popcount_xor");
-  std::size_t n = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    n += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
-  }
-  return n;
+  return kernels::popcount_xor_words(words_.data(), other.words_.data(),
+                                     words_.size());
 }
 
 std::size_t BitVector::subtract(const BitVector& other) {
   LTNC_CHECK_MSG(bits_ == other.bits_, "BitVector size mismatch in subtract");
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] &= ~other.words_[i];
-  }
+  kernels::and_not_words(words_.data(), other.words_.data(), words_.size());
   return words_.size();
 }
 
 std::size_t BitVector::popcount_and_not(const BitVector& other) const {
   LTNC_CHECK_MSG(bits_ == other.bits_,
                  "BitVector size mismatch in popcount_and_not");
-  std::size_t n = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    n += static_cast<std::size_t>(std::popcount(words_[i] & ~other.words_[i]));
-  }
-  return n;
+  return kernels::popcount_and_not_words(words_.data(), other.words_.data(),
+                                         words_.size());
 }
 
 bool BitVector::any() const {
-  for (std::uint64_t w : words_) {
-    if (w != 0) return true;
-  }
-  return false;
+  return kernels::any_words(words_.data(), words_.size());
 }
 
 std::size_t BitVector::first_set() const { return next_set(0); }
@@ -79,8 +77,8 @@ std::vector<std::size_t> BitVector::indices() const {
 std::uint64_t BitVector::hash() const {
   // FNV-1a over words, finished with a splitmix-style avalanche.
   std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (std::uint64_t w : words_) {
-    h ^= w;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    h ^= words_[i];
     h *= 0x100000001b3ULL;
   }
   h ^= h >> 33;

@@ -2,9 +2,11 @@
 //
 // BitVector is the code-vector representation used throughout the library:
 // an encoded packet's coefficients over the k native packets. The hot
-// operations — XOR, popcount, popcount-of-XOR — are word-parallel over
-// 64-bit limbs, matching the paper's observation that linear coding over
-// GF(2) "consists only in xor operations".
+// operations — XOR, popcount, popcount-of-XOR — route through the
+// runtime-dispatched SIMD kernels in common/kernels.hpp, matching the
+// paper's observation that linear coding over GF(2) "consists only in xor
+// operations". Limb storage is leased from the thread-local WordArena so
+// packet churn does not hit the allocator.
 #pragma once
 
 #include <cstddef>
@@ -13,7 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/check.hpp"
+#include "common/kernels.hpp"
 
 namespace ltnc {
 
@@ -21,7 +25,7 @@ class BitVector {
  public:
   /// Creates an all-zero vector of `bits` bits.
   explicit BitVector(std::size_t bits = 0)
-      : bits_(bits), words_((bits + 63) / 64, 0) {}
+      : bits_(bits), words_((bits + 63) / 64) {}
 
   /// Creates a vector of `bits` bits with exactly one bit set.
   static BitVector unit(std::size_t bits, std::size_t index) {
@@ -61,12 +65,25 @@ class BitVector {
     words_[i >> 6] ^= 1ULL << (i & 63);
   }
 
-  void clear() { std::fill(words_.begin(), words_.end(), 0); }
+  void clear() { words_.fill_zero(); }
+
+  /// Copies the contents of `other` (same size) without reallocating —
+  /// scratch-row reuse in the solvers.
+  void copy_from(const BitVector& other) {
+    LTNC_DCHECK(bits_ == other.bits_);
+    words_ = other.words_;
+  }
 
   /// In-place GF(2) addition. Both operands must have the same size.
   /// Returns the number of 64-bit word operations performed (for cost
   /// accounting in the control-plane benchmarks).
   std::size_t xor_with(const BitVector& other);
+
+  /// In-place GF(2) addition of every vector in `sources` (all the same
+  /// size) in one pass over this vector's words. Returns word ops charged
+  /// as if each source had been XORed individually.
+  std::size_t xor_accumulate(const BitVector* const* sources,
+                             std::size_t count);
 
   BitVector operator^(const BitVector& other) const {
     BitVector r = *this;
@@ -134,7 +151,7 @@ class BitVector {
 
  private:
   std::size_t bits_;
-  std::vector<std::uint64_t> words_;
+  WordBuf words_;
 };
 
 struct BitVectorHash {

@@ -1,0 +1,354 @@
+#include "common/kernels.hpp"
+
+#include <bit>
+
+// The AVX2 backend relies on GCC/Clang per-function target attributes and
+// __builtin_cpu_supports, so it is gated on those compilers (MSVC would
+// need /arch plumbing instead and falls back to scalar).
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define LTNC_KERNELS_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define LTNC_KERNELS_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace ltnc::kernels {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Generic word-loop tiers, instantiated twice from kernels_generic.inc:
+//
+//   portable       — the runtime fallback when no SIMD backend matches.
+//                    The compiler is free to auto-vectorise it to the
+//                    baseline ISA (SSE2 on x86-64), so non-AVX2 hosts are
+//                    not pessimised.
+//   pinned_scalar  — compiled with vectorisation disabled: the genuine
+//                    word-at-a-time reference the fuzz tests compare the
+//                    SIMD paths against and the benchmarks report
+//                    speedups over. Never dispatched at runtime.
+// ---------------------------------------------------------------------------
+
+// GCC pins via the push_options block below; Clang needs a per-loop
+// pragma, threaded through the LTNC_NOVEC hook in kernels_generic.inc.
+#if defined(__clang__)
+#define LTNC_SCALAR_NOVEC \
+  _Pragma("clang loop vectorize(disable) interleave(disable)")
+#else
+#define LTNC_SCALAR_NOVEC
+#endif
+
+namespace portable {
+#define LTNC_NOVEC
+#include "common/kernels_generic.inc"
+#undef LTNC_NOVEC
+}  // namespace portable
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC push_options
+#pragma GCC optimize("no-tree-vectorize", "no-tree-slp-vectorize")
+#endif
+namespace pinned_scalar {
+#define LTNC_NOVEC LTNC_SCALAR_NOVEC
+#include "common/kernels_generic.inc"
+#undef LTNC_NOVEC
+}  // namespace pinned_scalar
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC pop_options
+#endif
+
+constexpr Ops kPortableOps = {
+    portable::xor_words,     portable::popcount_words,
+    portable::popcount_xor_words,
+    portable::and_not_words, portable::popcount_and_not_words,
+    portable::any_words,     portable::xor_accumulate, "portable",
+};
+
+constexpr Ops kScalarOps = {
+    pinned_scalar::xor_words,     pinned_scalar::popcount_words,
+    pinned_scalar::popcount_xor_words,
+    pinned_scalar::and_not_words, pinned_scalar::popcount_and_not_words,
+    pinned_scalar::any_words,     pinned_scalar::xor_accumulate, "scalar",
+};
+
+#if defined(LTNC_KERNELS_X86)
+
+// ---------------------------------------------------------------------------
+// AVX2 backend. Compiled with per-function target attributes so the binary
+// stays runnable on baseline x86-64; ops() only selects these when the CPU
+// reports AVX2 at runtime.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) void avx2_xor_words(
+    std::uint64_t* __restrict dst, const std::uint64_t* __restrict src,
+    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i d0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i d1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 4));
+    const __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 4));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_xor_si256(d0, s0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 4), _mm256_xor_si256(d1, s1));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+/// Per-byte popcount of a 256-bit lane via the nibble lookup (Mula's
+/// vpshufb method), horizontally summed into four 64-bit lanes.
+__attribute__((target("avx2"), always_inline)) inline __m256i avx2_popcount256(
+    __m256i v) {
+  const __m256i lookup = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                      _mm256_shuffle_epi8(lookup, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"), always_inline)) inline std::size_t
+avx2_reduce_u64(__m256i acc) {
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return static_cast<std::size_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+}
+
+__attribute__((target("avx2"))) std::size_t avx2_popcount_words(
+    const std::uint64_t* src, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    acc = _mm256_add_epi64(acc, avx2_popcount256(v));
+  }
+  std::size_t count = avx2_reduce_u64(acc);
+  for (; i < n; ++i) count += static_cast<std::size_t>(std::popcount(src[i]));
+  return count;
+}
+
+__attribute__((target("avx2"))) std::size_t avx2_popcount_xor_words(
+    const std::uint64_t* __restrict a, const std::uint64_t* __restrict b,
+    std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi64(acc, avx2_popcount256(_mm256_xor_si256(va, vb)));
+  }
+  std::size_t count = avx2_reduce_u64(acc);
+  for (; i < n; ++i) {
+    count += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) void avx2_and_not_words(
+    std::uint64_t* __restrict dst, const std::uint64_t* __restrict src,
+    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    // _mm256_andnot_si256(s, d) computes (~s) & d.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_andnot_si256(s, d));
+  }
+  for (; i < n; ++i) dst[i] &= ~src[i];
+}
+
+__attribute__((target("avx2"))) std::size_t avx2_popcount_and_not_words(
+    const std::uint64_t* __restrict a, const std::uint64_t* __restrict b,
+    std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi64(acc, avx2_popcount256(_mm256_andnot_si256(vb, va)));
+  }
+  std::size_t count = avx2_reduce_u64(acc);
+  for (; i < n; ++i) {
+    count += static_cast<std::size_t>(std::popcount(a[i] & ~b[i]));
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) bool avx2_any_words(const std::uint64_t* src,
+                                                    std::size_t n) {
+  // Block-wise early exit: a non-zero vector is usually detected in the
+  // first block, while the all-zero worst case still scans at full width.
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    if (!_mm256_testz_si256(v, v)) return true;
+  }
+  for (; i < n; ++i) {
+    if (src[i] != 0) return true;
+  }
+  return false;
+}
+
+__attribute__((target("avx2"))) void avx2_xor_accumulate(
+    std::uint64_t* __restrict dst, const std::uint64_t* const* srcs,
+    std::size_t nsrcs, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i d0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i d1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 4));
+    for (std::size_t s = 0; s < nsrcs; ++s) {
+      const std::uint64_t* row = srcs[s];
+      d0 = _mm256_xor_si256(d0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + i)));
+      d1 = _mm256_xor_si256(d1, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + i + 4)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 4), d1);
+  }
+  for (; i < n; ++i) {
+    std::uint64_t w = dst[i];
+    for (std::size_t s = 0; s < nsrcs; ++s) w ^= srcs[s][i];
+    dst[i] = w;
+  }
+}
+
+constexpr Ops kAvx2Ops = {
+    avx2_xor_words,     avx2_popcount_words, avx2_popcount_xor_words,
+    avx2_and_not_words, avx2_popcount_and_not_words,
+    avx2_any_words,     avx2_xor_accumulate, "avx2",
+};
+
+#endif  // LTNC_KERNELS_X86
+
+#if defined(LTNC_KERNELS_NEON)
+
+// ---------------------------------------------------------------------------
+// NEON backend. NEON is baseline on aarch64, so no target attributes or
+// runtime probe are needed.
+// ---------------------------------------------------------------------------
+
+void neon_xor_words(std::uint64_t* __restrict dst,
+                    const std::uint64_t* __restrict src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_u64(dst + i, veorq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+    vst1q_u64(dst + i + 2,
+              veorq_u64(vld1q_u64(dst + i + 2), vld1q_u64(src + i + 2)));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+inline std::uint64_t neon_popcount128(uint64x2_t v) {
+  const uint8x16_t counts = vcntq_u8(vreinterpretq_u8_u64(v));
+  return vaddvq_u8(counts);
+}
+
+std::size_t neon_popcount_words(const std::uint64_t* src, std::size_t n) {
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) count += neon_popcount128(vld1q_u64(src + i));
+  for (; i < n; ++i) count += static_cast<std::size_t>(std::popcount(src[i]));
+  return count;
+}
+
+std::size_t neon_popcount_xor_words(const std::uint64_t* __restrict a,
+                                    const std::uint64_t* __restrict b,
+                                    std::size_t n) {
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    count += neon_popcount128(veorq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < n; ++i) {
+    count += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return count;
+}
+
+void neon_and_not_words(std::uint64_t* __restrict dst,
+                        const std::uint64_t* __restrict src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vbicq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] &= ~src[i];
+}
+
+std::size_t neon_popcount_and_not_words(const std::uint64_t* __restrict a,
+                                        const std::uint64_t* __restrict b,
+                                        std::size_t n) {
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    count += neon_popcount128(vbicq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < n; ++i) {
+    count += static_cast<std::size_t>(std::popcount(a[i] & ~b[i]));
+  }
+  return count;
+}
+
+bool neon_any_words(const std::uint64_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t v = vld1q_u64(src + i);
+    if ((vgetq_lane_u64(v, 0) | vgetq_lane_u64(v, 1)) != 0) return true;
+  }
+  for (; i < n; ++i) {
+    if (src[i] != 0) return true;
+  }
+  return false;
+}
+
+void neon_xor_accumulate(std::uint64_t* __restrict dst,
+                         const std::uint64_t* const* srcs, std::size_t nsrcs,
+                         std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    uint64x2_t d0 = vld1q_u64(dst + i);
+    uint64x2_t d1 = vld1q_u64(dst + i + 2);
+    for (std::size_t s = 0; s < nsrcs; ++s) {
+      const std::uint64_t* row = srcs[s];
+      d0 = veorq_u64(d0, vld1q_u64(row + i));
+      d1 = veorq_u64(d1, vld1q_u64(row + i + 2));
+    }
+    vst1q_u64(dst + i, d0);
+    vst1q_u64(dst + i + 2, d1);
+  }
+  for (; i < n; ++i) {
+    std::uint64_t w = dst[i];
+    for (std::size_t s = 0; s < nsrcs; ++s) w ^= srcs[s][i];
+    dst[i] = w;
+  }
+}
+
+constexpr Ops kNeonOps = {
+    neon_xor_words,     neon_popcount_words, neon_popcount_xor_words,
+    neon_and_not_words, neon_popcount_and_not_words,
+    neon_any_words,     neon_xor_accumulate, "neon",
+};
+
+#endif  // LTNC_KERNELS_NEON
+
+const Ops& select_backend() {
+#if defined(LTNC_KERNELS_X86)
+  if (__builtin_cpu_supports("avx2")) return kAvx2Ops;
+#elif defined(LTNC_KERNELS_NEON)
+  return kNeonOps;
+#endif
+  return kPortableOps;
+}
+
+}  // namespace
+
+const Ops& ops() {
+  static const Ops& selected = select_backend();
+  return selected;
+}
+
+const Ops& scalar_ops() { return kScalarOps; }
+
+}  // namespace ltnc::kernels

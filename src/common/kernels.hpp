@@ -1,0 +1,125 @@
+// Word-parallel GF(2) kernels — the data-plane substrate.
+//
+// Every hot loop in the library (code-vector XOR, payload XOR, degree
+// popcounts, Gaussian row reduction) bottoms out in one of these
+// primitives over raw 64-bit limb arrays. They are written over
+// `__restrict` pointers so the compiler can vectorise freely, and the
+// dispatched entry points select a SIMD implementation once at startup:
+//
+//   x86-64   AVX2 (256-bit XOR/AND-NOT, vpshufb nibble-LUT popcount)
+//   aarch64  NEON (128-bit, vcnt popcount)
+//   anywhere portable fallback (plain word loops, auto-vectorisable)
+//
+// A separate pinned-scalar instantiation of the portable loops — compiled
+// with vectorisation disabled — stays reachable through `scalar_ops()` so
+// tests can cross-check the SIMD paths and benchmarks can report honest
+// speedups over true word-at-a-time execution. All sizes are in 64-bit
+// words; buffers of unequal length or overlapping storage are undefined
+// behaviour (callers — BitVector, Payload, the solvers — enforce this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ltnc::kernels {
+
+/// Dispatch table for the word-parallel primitives. One instance per
+/// backend; `ops()` returns the one selected for this CPU.
+struct Ops {
+  /// dst ^= src, word-wise.
+  void (*xor_words)(std::uint64_t* __restrict dst,
+                    const std::uint64_t* __restrict src, std::size_t n);
+  /// Number of set bits in src[0..n).
+  std::size_t (*popcount_words)(const std::uint64_t* src, std::size_t n);
+  /// popcount(a ^ b) without materialising the XOR.
+  std::size_t (*popcount_xor_words)(const std::uint64_t* __restrict a,
+                                    const std::uint64_t* __restrict b,
+                                    std::size_t n);
+  /// dst &= ~src, word-wise (GF(2) set difference).
+  void (*and_not_words)(std::uint64_t* __restrict dst,
+                        const std::uint64_t* __restrict src, std::size_t n);
+  /// popcount(a & ~b) without materialising the mask.
+  std::size_t (*popcount_and_not_words)(const std::uint64_t* __restrict a,
+                                        const std::uint64_t* __restrict b,
+                                        std::size_t n);
+  /// True iff any word in src[0..n) is non-zero.
+  bool (*any_words)(const std::uint64_t* src, std::size_t n);
+  /// dst ^= srcs[0] ^ srcs[1] ^ ... ^ srcs[nsrcs-1] in a single pass over
+  /// dst — the batched row-fold used by back-substitution and the LT
+  /// encoder. Each source must have n words and not alias dst.
+  void (*xor_accumulate)(std::uint64_t* __restrict dst,
+                         const std::uint64_t* const* srcs, std::size_t nsrcs,
+                         std::size_t n);
+  /// Backend identifier: "avx2", "neon", "portable" or "scalar".
+  const char* name;
+};
+
+/// The table selected for this CPU (chosen once, on first use).
+const Ops& ops();
+
+/// The pinned word-at-a-time reference implementation, always available.
+const Ops& scalar_ops();
+
+/// Name of the dispatched backend ("avx2", "neon", "portable").
+inline const char* backend_name() { return ops().name; }
+
+// ---------------------------------------------------------------------------
+// Convenience wrappers over the dispatched table.
+// ---------------------------------------------------------------------------
+
+inline void xor_words(std::uint64_t* __restrict dst,
+                      const std::uint64_t* __restrict src, std::size_t n) {
+  ops().xor_words(dst, src, n);
+}
+
+inline std::size_t popcount_words(const std::uint64_t* src, std::size_t n) {
+  return ops().popcount_words(src, n);
+}
+
+inline std::size_t popcount_xor_words(const std::uint64_t* __restrict a,
+                                      const std::uint64_t* __restrict b,
+                                      std::size_t n) {
+  return ops().popcount_xor_words(a, b, n);
+}
+
+inline void and_not_words(std::uint64_t* __restrict dst,
+                          const std::uint64_t* __restrict src, std::size_t n) {
+  ops().and_not_words(dst, src, n);
+}
+
+inline std::size_t popcount_and_not_words(const std::uint64_t* __restrict a,
+                                          const std::uint64_t* __restrict b,
+                                          std::size_t n) {
+  return ops().popcount_and_not_words(a, b, n);
+}
+
+inline bool any_words(const std::uint64_t* src, std::size_t n) {
+  return ops().any_words(src, n);
+}
+
+inline void xor_accumulate(std::uint64_t* __restrict dst,
+                           const std::uint64_t* const* srcs, std::size_t nsrcs,
+                           std::size_t n) {
+  ops().xor_accumulate(dst, srcs, nsrcs, n);
+}
+
+/// Folds `count` sources into dst[0..n), gathering at most 64 source
+/// pointers at a time on the stack via `words_of(i)` — the shared batching
+/// used by BitVector::xor_accumulate and Payload::xor_accumulate.
+template <typename GetWords>
+inline void xor_accumulate_batched(std::uint64_t* __restrict dst,
+                                   std::size_t n, std::size_t count,
+                                   GetWords&& words_of) {
+  constexpr std::size_t kMaxBatch = 64;
+  const std::uint64_t* rows[kMaxBatch];
+  std::size_t done = 0;
+  while (done < count) {
+    const std::size_t batch = count - done < kMaxBatch ? count - done
+                                                       : kMaxBatch;
+    for (std::size_t s = 0; s < batch; ++s) rows[s] = words_of(done + s);
+    ops().xor_accumulate(dst, rows, batch, n);
+    done += batch;
+  }
+}
+
+}  // namespace ltnc::kernels

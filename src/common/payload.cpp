@@ -1,33 +1,42 @@
 #include "common/payload.hpp"
 
+#include <algorithm>
+
 namespace ltnc {
 
 Payload Payload::deterministic(std::size_t bytes, std::uint64_t seed,
                                std::size_t index) {
   Payload p(bytes);
   SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
-  for (auto& w : p.words_) w = sm.next();
+  for (std::size_t i = 0; i < p.words_.size(); ++i) p.words_[i] = sm.next();
   // Mask the tail so equality is well defined for non-multiple-of-8 sizes.
   const std::size_t tail = bytes % 8;
-  if (tail != 0 && !p.words_.empty()) {
-    p.words_.back() &= (~0ULL >> ((8 - tail) * 8));
+  if (tail != 0 && p.words_.size() != 0) {
+    p.words_[p.words_.size() - 1] &= (~0ULL >> ((8 - tail) * 8));
   }
   return p;
 }
 
 std::size_t Payload::xor_with(const Payload& other) {
   LTNC_CHECK_MSG(bytes_ == other.bytes_, "Payload size mismatch in xor_with");
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] ^= other.words_[i];
-  }
+  kernels::xor_words(words_.data(), other.words_.data(), words_.size());
   return words_.size();
 }
 
+std::size_t Payload::xor_accumulate(const Payload* const* sources,
+                                    std::size_t count) {
+  kernels::xor_accumulate_batched(
+      words_.data(), words_.size(), count, [&](std::size_t s) {
+        const Payload& src = *sources[s];
+        LTNC_CHECK_MSG(src.bytes_ == bytes_,
+                       "Payload size mismatch in xor_accumulate");
+        return src.words_.data();
+      });
+  return words_.size() * count;
+}
+
 bool Payload::is_zero() const {
-  for (std::uint64_t w : words_) {
-    if (w != 0) return false;
-  }
-  return true;
+  return !kernels::any_words(words_.data(), words_.size());
 }
 
 }  // namespace ltnc

@@ -5,13 +5,16 @@
 // (payload content does not influence protocol behaviour) while the
 // data-plane cost benchmarks (Fig. 8c/8d) use realistic m. XOR work is
 // returned to the caller so both planes can be accounted separately.
+// Storage is leased from the thread-local WordArena and XOR routes through
+// the dispatched SIMD kernels.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
 
+#include "common/arena.hpp"
 #include "common/check.hpp"
+#include "common/kernels.hpp"
 #include "common/rng.hpp"
 
 namespace ltnc {
@@ -20,7 +23,7 @@ class Payload {
  public:
   /// Creates an all-zero payload of `bytes` bytes.
   explicit Payload(std::size_t bytes = 0)
-      : bytes_(bytes), words_((bytes + 7) / 8, 0) {}
+      : bytes_(bytes), words_((bytes + 7) / 8) {}
 
   /// Deterministic pseudo-random payload: the canonical content of native
   /// packet `index` for a run seeded with `seed`. Decoders verify against
@@ -34,6 +37,13 @@ class Payload {
   /// In-place GF(2) addition; returns the number of 64-bit word operations
   /// (data-plane cost accounting).
   std::size_t xor_with(const Payload& other);
+
+  /// In-place GF(2) addition of every payload in `sources` (all the same
+  /// size) in a single pass over this payload's words. Returns word ops
+  /// charged: one per destination word per source, as if each source had
+  /// been XORed individually.
+  std::size_t xor_accumulate(const Payload* const* sources,
+                             std::size_t count);
 
   bool operator==(const Payload& other) const {
     return bytes_ == other.bytes_ && words_ == other.words_;
@@ -52,7 +62,7 @@ class Payload {
 
  private:
   std::size_t bytes_;
-  std::vector<std::uint64_t> words_;
+  WordBuf words_;
 };
 
 }  // namespace ltnc

@@ -33,7 +33,7 @@ std::optional<CodedPacket> PacketBuilder::build(std::size_t target, Rng& rng,
   CodedPacket z{BitVector(k), Payload(store_.payload_bytes())};
   std::size_t dz = 0;
 
-  std::vector<PacketId> scratch;
+  std::vector<PacketId>& scratch = bucket_scratch_;
   for (std::size_t degree = std::min(target, index_.max_degree());
        dz < target && degree >= 2; --degree) {
     // Examine this bucket's packets in random order, at most once each
@@ -53,7 +53,8 @@ std::optional<CodedPacket> PacketBuilder::build(std::size_t target, Rng& rng,
   // Degree-1 resources: decoded natives (S[1] in the paper's notation).
   const auto& decoded = store_.decoded_order();
   if (dz < target && !decoded.empty()) {
-    std::vector<NativeIndex> natives(decoded.begin(), decoded.end());
+    std::vector<NativeIndex>& natives = native_scratch_;
+    natives.assign(decoded.begin(), decoded.end());
     for (std::size_t t = 0; t < natives.size() && dz < target; ++t) {
       const std::size_t j = t + rng.uniform(natives.size() - t);
       std::swap(natives[t], natives[j]);

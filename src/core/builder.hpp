@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/coded_packet.hpp"
 #include "common/op_counters.hpp"
@@ -58,6 +59,9 @@ class PacketBuilder {
   const lt::BpDecoder& store_;
   const DegreeIndex& index_;
   BuildStats stats_;
+  // Reusable per-build scratch: bucket candidates and degree-1 natives.
+  std::vector<PacketId> bucket_scratch_;
+  std::vector<NativeIndex> native_scratch_;
 };
 
 }  // namespace ltnc::core

@@ -49,8 +49,10 @@ ComponentTracker::Heap& ComponentTracker::heap_for_leader(
 
 std::pair<NativeIndex, Payload> ComponentTracker::root_and_payload(
     NativeIndex x, OpCounters& ops) const {
-  // First pass: collect the path x → root.
-  std::vector<NativeIndex> chain;
+  // First pass: collect the path x → root (reusable scratch — path
+  // compression keeps it short, steady state keeps it allocation-free).
+  std::vector<NativeIndex>& chain = chain_scratch_;
+  chain.clear();
   NativeIndex v = x;
   while (parent_[v] >= 0) {
     chain.push_back(v);
@@ -145,8 +147,10 @@ std::optional<NativeIndex> ComponentTracker::pick_substitute(
   Heap& heap = heap_for_leader(root);
 
   // Entries popped because they are excluded (typically: already part of
-  // the packet being refined) — pushed back before returning.
-  Heap parked;
+  // the packet being refined) — pushed back before returning. Reusable
+  // member so refine loops don't allocate.
+  Heap& parked = parked_scratch_;
+  parked.clear();
   std::optional<NativeIndex> result;
   while (!heap.empty()) {
     ops.control_steps += 1;

@@ -108,6 +108,8 @@ class ComponentTracker {
   mutable std::vector<Payload> edge_payload_;  ///< payload of (x ⊕ parent[x])
   mutable std::vector<Heap> heaps_;            ///< per root native
   mutable Heap decoded_heap_;                  ///< component 0
+  mutable std::vector<NativeIndex> chain_scratch_;  ///< root_and_payload path
+  mutable Heap parked_scratch_;  ///< pick_substitute exclusion parking
   std::size_t decoded_size_ = 0;
 };
 

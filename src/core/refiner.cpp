@@ -11,7 +11,8 @@ Refiner::Refiner(const ComponentTracker& components,
 std::size_t Refiner::refine(CodedPacket& z, OpCounters& ops) {
   // Iterate the natives of the packet as built; substituted-in natives are
   // not revisited (Algorithm 2 walks "each x ∈ z").
-  std::vector<NativeIndex> original;
+  std::vector<NativeIndex>& original = original_scratch_;
+  original.clear();
   z.coeffs.for_each_set(
       [&](std::size_t i) { original.push_back(static_cast<NativeIndex>(i)); });
 

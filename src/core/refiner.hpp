@@ -11,9 +11,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/coded_packet.hpp"
 #include "common/op_counters.hpp"
+#include "common/types.hpp"
 #include "core/components.hpp"
 #include "core/occurrences.hpp"
 
@@ -33,6 +35,7 @@ class Refiner {
   const ComponentTracker& components_;
   const OccurrenceTracker& occurrences_;
   std::uint64_t substitutions_total_ = 0;
+  std::vector<NativeIndex> original_scratch_;  ///< packet natives as built
 };
 
 }  // namespace ltnc::core

@@ -38,11 +38,12 @@ std::optional<CodedPacket> SmartConstructor::construct_degree2(
   // σ: sender component -> (receiver component, witness native). Sender
   // leaders range over [0, k]; entry .first == kUnset means unvisited.
   constexpr std::uint32_t kUnset = static_cast<std::uint32_t>(-1);
-  std::vector<std::pair<std::uint32_t, NativeIndex>> sigma(
-      k + 1, {kUnset, 0});
+  std::vector<std::pair<std::uint32_t, NativeIndex>>& sigma = sigma_;
+  sigma.assign(k + 1, {kUnset, 0});
 
   // Visit natives in random order (Algorithm 4 processes them randomly).
-  std::vector<NativeIndex> order(k);
+  std::vector<NativeIndex>& order = order_;
+  order.resize(k);
   for (std::size_t i = 0; i < k; ++i) order[i] = static_cast<NativeIndex>(i);
   for (std::size_t t = 0; t < k; ++t) {
     const std::size_t j = t + rng.uniform(k - t);

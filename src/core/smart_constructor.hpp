@@ -43,6 +43,11 @@ class SmartConstructor {
  private:
   const lt::BpDecoder& store_;
   const ComponentTracker& components_;
+  // Reusable Algorithm-4 scratch (mutable: construction is logically
+  // const). sigma_ maps sender component -> (receiver component, witness);
+  // order_ is the random visit order.
+  mutable std::vector<std::pair<std::uint32_t, NativeIndex>> sigma_;
+  mutable std::vector<NativeIndex> order_;
 };
 
 }  // namespace ltnc::core

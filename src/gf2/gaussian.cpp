@@ -6,14 +6,19 @@ namespace ltnc::gf2 {
 
 OnlineGaussianSolver::OnlineGaussianSolver(std::size_t k,
                                            std::size_t payload_bytes)
-    : k_(k), payload_bytes_(payload_bytes), pivot_row_(k, -1) {
+    : k_(k), payload_bytes_(payload_bytes), pivot_row_(k, -1),
+      probe_scratch_(k) {
   LTNC_CHECK_MSG(k > 0, "code length must be positive");
+  rows_.reserve(k);
+  fold_scratch_.reserve(k);
 }
 
 bool OnlineGaussianSolver::is_innovative(const BitVector& coeffs) const {
   LTNC_CHECK_MSG(coeffs.size() == k_, "code vector width mismatch");
-  // Reduce a scratch copy against pivots; innovative iff non-zero remains.
-  BitVector v = coeffs;
+  // Reduce a scratch row against pivots; innovative iff non-zero remains.
+  // The scratch is a reusable member so probes never allocate.
+  BitVector& v = probe_scratch_;
+  v.copy_from(coeffs);
   std::size_t p = v.first_set();
   while (p != BitVector::npos) {
     const std::int32_t r = pivot_row_[p];
@@ -50,16 +55,28 @@ OnlineGaussianSolver::Insert OnlineGaussianSolver::insert(CodedPacket packet) {
 void OnlineGaussianSolver::back_substitute() {
   LTNC_CHECK_MSG(complete(), "back_substitute requires full rank");
   if (reduced_) return;
-  // Eliminate every pivot column from all other rows, highest pivot first,
-  // leaving the identity. This is the expensive decode step of RLNC.
+  // Every stored row is in echelon form: its pivot column is its lowest
+  // set bit, so all other set bits lie at higher columns. Walking pivot
+  // columns from highest to lowest therefore guarantees that when row r
+  // (pivot c) is processed, the pivot rows of all its trailing bits are
+  // already final unit rows — r's payload can be finished with a single
+  // multi-source fold instead of one full row-XOR per trailing bit, and
+  // its code vector collapses straight to the unit vector e_c.
   for (std::size_t col = k_; col-- > 0;) {
-    const std::size_t src = static_cast<std::size_t>(pivot_row_[col]);
-    for (std::size_t r = 0; r < rows_.size(); ++r) {
-      if (r == src) continue;
-      if (rows_[r].coeffs.test(col)) {
-        ops_.control_word_ops += rows_[r].coeffs.xor_with(rows_[src].coeffs);
-        ops_.data_word_ops += rows_[r].payload.xor_with(rows_[src].payload);
-      }
+    CodedPacket& row = rows_[static_cast<std::size_t>(pivot_row_[col])];
+    fold_scratch_.clear();
+    row.coeffs.for_each_set([&](std::size_t b) {
+      ops_.control_steps += 1;
+      if (b == col) return;
+      fold_scratch_.push_back(
+          &rows_[static_cast<std::size_t>(pivot_row_[b])].payload);
+    });
+    if (!fold_scratch_.empty()) {
+      ops_.data_word_ops += row.payload.xor_accumulate(fold_scratch_.data(),
+                                                       fold_scratch_.size());
+      row.coeffs.clear();
+      row.coeffs.set(col);
+      ops_.control_word_ops += row.coeffs.word_count();
     }
   }
   reduced_ = true;

@@ -66,6 +66,8 @@ class OnlineGaussianSolver {
   bool reduced_ = false;
   std::vector<CodedPacket> rows_;        ///< echelon rows, insertion order
   std::vector<std::int32_t> pivot_row_;  ///< pivot column -> row index or -1
+  mutable BitVector probe_scratch_;      ///< reduction row for is_innovative
+  std::vector<const Payload*> fold_scratch_;  ///< back_substitute batching
   mutable OpCounters ops_;  ///< mutable: const queries still charge cost
 };
 

@@ -41,14 +41,20 @@ std::size_t BpDecoder::packet_degree(PacketId id) const {
 void BpDecoder::reduce_by_decoded(CodedPacket& pkt) {
   // XOR out every decoded native appearing in the vector. Equivalent to
   // the paper's rule that a decoded native is immediately propagated into
-  // arriving packets.
+  // arriving packets. The payload contributions are folded in one batched
+  // pass instead of one full XOR per decoded native.
+  reduce_sources_.clear();
   pkt.coeffs.for_each_set([&](std::size_t i) {
     ops_.control_steps += 1;
     if (decoded_mask_.test(i)) {
       pkt.coeffs.flip(i);
-      ops_.data_word_ops += pkt.payload.xor_with(decoded_values_[i]);
+      reduce_sources_.push_back(&decoded_values_[i]);
     }
   });
+  if (!reduce_sources_.empty()) {
+    ops_.data_word_ops += pkt.payload.xor_accumulate(reduce_sources_.data(),
+                                                     reduce_sources_.size());
+  }
 }
 
 ReceiveResult BpDecoder::receive(const CodedPacket& packet) {
@@ -110,8 +116,12 @@ void BpDecoder::decode_native(NativeIndex i, Payload value) {
     observer_->on_native_decoded(i, decoded_values_[i]);
   }
 
-  // Propagate the decoded value along the native's edges.
-  std::vector<PacketId> edges;
+  // Propagate the decoded value along the native's edges. The snapshot
+  // buffer is a reusable member (decode_native never re-enters itself —
+  // ripples are deferred to process_ripple), swapped rather than copied so
+  // steady-state decoding touches the allocator not at all.
+  std::vector<PacketId>& edges = edges_scratch_;
+  edges.clear();
   edges.swap(adjacency_[i]);
   for (PacketId id : edges) {
     ops_.control_steps += 1;

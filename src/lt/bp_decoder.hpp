@@ -179,6 +179,11 @@ class BpDecoder {
   std::vector<std::vector<PacketId>> adjacency_;  ///< native -> packet ids
   std::vector<PacketId> ripple_;
 
+  // Reusable scratch: decoded-value pointers for the arrival fold and the
+  // edge snapshot taken while propagating a decoded native.
+  std::vector<const Payload*> reduce_sources_;
+  std::vector<PacketId> edges_scratch_;
+
   OpCounters ops_;
 };
 

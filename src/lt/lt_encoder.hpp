@@ -43,6 +43,13 @@ class LtEncoder {
   std::size_t payload_bytes_;
   RobustSoliton soliton_;
   OpCounters ops_;
+  // Reusable per-encode scratch: the selected native indices, a
+  // generation-stamped membership array (replacing a per-call hash set in
+  // Floyd's sampling), and the source pointers for the payload fold.
+  std::vector<std::size_t> chosen_;
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t generation_ = 0;
+  std::vector<const Payload*> sources_;
 };
 
 /// Convenience: the canonical deterministic content for a (seed, k, m) run.

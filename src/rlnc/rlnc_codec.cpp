@@ -10,6 +10,9 @@ namespace ltnc::rlnc {
 RlncCodec::RlncCodec(const RlncConfig& config)
     : cfg_(config), solver_(config.k, config.payload_bytes) {
   LTNC_CHECK_MSG(config.k > 0, "k must be positive");
+  index_scratch_.reserve(config.k);
+  coeff_sources_.reserve(config.k);
+  payload_sources_.reserve(config.k);
 }
 
 gf2::OnlineGaussianSolver::Insert RlncCodec::receive(CodedPacket packet) {
@@ -24,26 +27,32 @@ std::optional<CodedPacket> RlncCodec::recode(Rng& rng) {
   const std::size_t s = std::min(held, cfg_.effective_sparsity());
   CodedPacket out{BitVector(cfg_.k), Payload(cfg_.payload_bytes)};
 
-  // Sample s distinct row indices (partial Fisher–Yates over a scratch
-  // index vector), then include each with probability 1/2 — a random
-  // GF(2) combination restricted to a sparse support. Guarantee a
+  // Sample s distinct row indices (partial Fisher–Yates over a reusable
+  // scratch index vector), then include each with probability 1/2 — a
+  // random GF(2) combination restricted to a sparse support. Guarantee a
   // non-empty combination by forcing the last candidate in when all coins
-  // came up tails.
-  std::vector<std::size_t> idx(held);
-  for (std::size_t i = 0; i < held; ++i) idx[i] = i;
-  bool any = false;
+  // came up tails. The picked rows are folded into the output with one
+  // batched pass per plane.
+  index_scratch_.resize(held);
+  for (std::size_t i = 0; i < held; ++i) index_scratch_[i] = i;
+  coeff_sources_.clear();
+  payload_sources_.clear();
   for (std::size_t t = 0; t < s; ++t) {
     const std::size_t j = t + rng.uniform(held - t);
-    std::swap(idx[t], idx[j]);
-    const bool include =
-        (t + 1 == s && !any) ? true : (rng.next() & 1ULL) != 0;
+    std::swap(index_scratch_[t], index_scratch_[j]);
+    const bool include = (t + 1 == s && coeff_sources_.empty())
+                             ? true
+                             : (rng.next() & 1ULL) != 0;
     if (!include) continue;
-    any = true;
-    const CodedPacket& row = solver_.row(idx[t]);
-    recode_ops_.control_word_ops += out.coeffs.xor_with(row.coeffs);
-    recode_ops_.data_word_ops += out.payload.xor_with(row.payload);
+    const CodedPacket& row = solver_.row(index_scratch_[t]);
+    coeff_sources_.push_back(&row.coeffs);
+    payload_sources_.push_back(&row.payload);
   }
-  LTNC_DCHECK(any);
+  LTNC_DCHECK(!coeff_sources_.empty());
+  recode_ops_.control_word_ops +=
+      out.coeffs.xor_accumulate(coeff_sources_.data(), coeff_sources_.size());
+  recode_ops_.data_word_ops += out.payload.xor_accumulate(
+      payload_sources_.data(), payload_sources_.size());
   // The solver's rows are linearly independent (echelon form), so a
   // non-empty XOR of them is never zero; guard defensively anyway.
   if (!out.coeffs.any()) {

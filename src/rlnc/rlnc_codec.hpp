@@ -15,6 +15,7 @@
 #include <cmath>
 #include <cstddef>
 #include <optional>
+#include <vector>
 
 #include "common/coded_packet.hpp"
 #include "common/op_counters.hpp"
@@ -73,6 +74,11 @@ class RlncCodec {
   RlncConfig cfg_;
   gf2::OnlineGaussianSolver solver_;
   OpCounters recode_ops_;
+  // Reusable recode scratch: candidate row indices and the rows picked for
+  // the batched GF(2) fold.
+  std::vector<std::size_t> index_scratch_;
+  std::vector<const BitVector*> coeff_sources_;
+  std::vector<const Payload*> payload_sources_;
 };
 
 }  // namespace ltnc::rlnc

@@ -1,0 +1,135 @@
+// Fuzz the dispatched SIMD kernels against the scalar reference: for random
+// sizes and word offsets (so SIMD paths see unaligned starts and ragged
+// tails), every primitive must produce bit-identical results.
+#include "common/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ltnc::kernels {
+namespace {
+
+std::vector<std::uint64_t> random_words(Rng& rng, std::size_t n) {
+  std::vector<std::uint64_t> v(n);
+  for (auto& w : v) w = rng.next();
+  return v;
+}
+
+TEST(Kernels, BackendIsSelected) {
+  const char* name = backend_name();
+  ASSERT_NE(name, nullptr);
+  // The dispatched table must be one of the known backends.
+  const bool known = std::strcmp(name, "avx2") == 0 ||
+                     std::strcmp(name, "neon") == 0 ||
+                     std::strcmp(name, "portable") == 0;
+  EXPECT_TRUE(known) << "unexpected backend: " << name;
+}
+
+TEST(Kernels, DispatchedMatchesScalarFuzz) {
+  Rng rng(0x51e5u);
+  const Ops& simd = ops();
+  const Ops& scalar = scalar_ops();
+
+  for (int trial = 0; trial < 300; ++trial) {
+    // Random logical size including SIMD-width edge cases, plus a random
+    // word offset so vector loads start misaligned relative to the
+    // allocation.
+    const std::size_t offset = rng.uniform(8);
+    const std::size_t n = rng.uniform(300) + (trial % 3 == 0 ? 0 : 1);
+    std::vector<std::uint64_t> a = random_words(rng, offset + n);
+    std::vector<std::uint64_t> b = random_words(rng, offset + n);
+    const std::uint64_t* pa = a.data() + offset;
+    const std::uint64_t* pb = b.data() + offset;
+
+    // Pure queries.
+    EXPECT_EQ(simd.popcount_words(pa, n), scalar.popcount_words(pa, n));
+    EXPECT_EQ(simd.popcount_xor_words(pa, pb, n),
+              scalar.popcount_xor_words(pa, pb, n));
+    EXPECT_EQ(simd.popcount_and_not_words(pa, pb, n),
+              scalar.popcount_and_not_words(pa, pb, n));
+    EXPECT_EQ(simd.any_words(pa, n), scalar.any_words(pa, n));
+
+    // Mutating ops: run both implementations on separate copies.
+    std::vector<std::uint64_t> d1(pa, pa + n), d2(pa, pa + n);
+    simd.xor_words(d1.data(), pb, n);
+    scalar.xor_words(d2.data(), pb, n);
+    EXPECT_EQ(d1, d2);
+
+    d1.assign(pa, pa + n);
+    d2.assign(pa, pa + n);
+    simd.and_not_words(d1.data(), pb, n);
+    scalar.and_not_words(d2.data(), pb, n);
+    EXPECT_EQ(d1, d2);
+  }
+}
+
+TEST(Kernels, ZeroAndAllOnesEdgeCases) {
+  const Ops& simd = ops();
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                        std::size_t{4}, std::size_t{7}, std::size_t{8},
+                        std::size_t{9}, std::size_t{64}, std::size_t{65}}) {
+    std::vector<std::uint64_t> zeros(n == 0 ? 1 : n, 0);
+    std::vector<std::uint64_t> ones(n == 0 ? 1 : n, ~0ULL);
+    EXPECT_EQ(simd.popcount_words(zeros.data(), n), 0u);
+    EXPECT_EQ(simd.popcount_words(ones.data(), n), 64 * n);
+    EXPECT_FALSE(simd.any_words(zeros.data(), n));
+    if (n > 0) {
+      EXPECT_TRUE(simd.any_words(ones.data(), n));
+    }
+    EXPECT_EQ(simd.popcount_xor_words(zeros.data(), ones.data(), n), 64 * n);
+    EXPECT_EQ(simd.popcount_and_not_words(ones.data(), zeros.data(), n),
+              64 * n);
+    EXPECT_EQ(simd.popcount_and_not_words(ones.data(), ones.data(), n), 0u);
+  }
+}
+
+TEST(Kernels, XorAccumulateMatchesSequentialXor) {
+  Rng rng(99);
+  const Ops& simd = ops();
+  const Ops& scalar = scalar_ops();
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = rng.uniform(200) + 1;
+    const std::size_t nsrcs = rng.uniform(12);  // including 0 sources
+    std::vector<std::vector<std::uint64_t>> sources;
+    std::vector<const std::uint64_t*> ptrs;
+    for (std::size_t s = 0; s < nsrcs; ++s) {
+      sources.push_back(random_words(rng, n));
+      ptrs.push_back(sources.back().data());
+    }
+    const std::vector<std::uint64_t> dst0 = random_words(rng, n);
+
+    std::vector<std::uint64_t> got = dst0;
+    simd.xor_accumulate(got.data(), ptrs.data(), nsrcs, n);
+
+    std::vector<std::uint64_t> want = dst0;
+    for (std::size_t s = 0; s < nsrcs; ++s) {
+      scalar.xor_words(want.data(), ptrs[s], n);
+    }
+    EXPECT_EQ(got, want);
+
+    // Scalar xor_accumulate must agree too.
+    std::vector<std::uint64_t> scalar_got = dst0;
+    scalar.xor_accumulate(scalar_got.data(), ptrs.data(), nsrcs, n);
+    EXPECT_EQ(scalar_got, want);
+  }
+}
+
+TEST(Kernels, XorAccumulateSelfInverse) {
+  // Folding the same source twice must be the identity.
+  Rng rng(7);
+  const std::size_t n = 37;
+  std::vector<std::uint64_t> src = random_words(rng, n);
+  std::vector<std::uint64_t> dst = random_words(rng, n);
+  const std::vector<std::uint64_t> orig = dst;
+  const std::uint64_t* twice[2] = {src.data(), src.data()};
+  ops().xor_accumulate(dst.data(), twice, 2, n);
+  EXPECT_EQ(dst, orig);
+}
+
+}  // namespace
+}  // namespace ltnc::kernels
