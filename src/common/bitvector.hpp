@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -148,6 +149,18 @@ class BitVector {
   std::string to_string() const;
 
   const std::uint64_t* words() const { return words_.data(); }
+
+  /// Read-only view of the limb words — the zero-copy source for wire
+  /// serialization. Bits past size() in the last word are always zero
+  /// (class invariant).
+  std::span<const std::uint64_t> word_span() const {
+    return {words_.data(), words_.size()};
+  }
+
+  /// Mutable limb access for deserialization fast paths. Callers must
+  /// preserve the zero-tail invariant: bits past size() stay clear
+  /// (popcount and the XOR kernels rely on it).
+  std::uint64_t* mutable_words() { return words_.data(); }
 
  private:
   std::size_t bits_;

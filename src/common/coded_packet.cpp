@@ -1,5 +1,11 @@
 #include "common/coded_packet.hpp"
 
-// CodedPacket is header-only today; this translation unit anchors the
-// library target and keeps a stable home for future out-of-line members.
-namespace ltnc {}
+#include "wire/codec.hpp"
+
+namespace ltnc {
+
+std::size_t CodedPacket::wire_bytes() const {
+  return wire::serialized_size(*this);
+}
+
+}  // namespace ltnc

@@ -38,12 +38,11 @@ struct CodedPacket {
     return {control, data};
   }
 
-  /// Wire size in bytes: code vector bitmap + payload (paper §IV-A: "code
-  /// vectors of encoded packets, represented by bitmaps, are included in
-  /// the headers").
-  std::size_t wire_bytes() const {
-    return (coeffs.size() + 7) / 8 + payload.size_bytes();
-  }
+  /// Wire size in bytes: the exact serialized frame size of this packet
+  /// under the versioned codec (wire/codec.hpp), including the frame
+  /// header and the adaptive dense/sparse code-vector encoding — computed
+  /// by the codec itself so the estimate and the wire can never drift.
+  std::size_t wire_bytes() const;
 };
 
 }  // namespace ltnc

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 
 #include "common/arena.hpp"
 #include "common/check.hpp"
@@ -59,6 +60,19 @@ class Payload {
 
   const std::uint64_t* words() const { return words_.data(); }
   std::uint64_t* mutable_words() { return words_.data(); }
+
+  /// Read-only view of the limb words — the zero-copy source for wire
+  /// serialization. Bytes past size_bytes() in the last word are always
+  /// zero (class invariant; see deterministic()'s tail mask).
+  std::span<const std::uint64_t> word_span() const {
+    return {words_.data(), words_.size()};
+  }
+
+  /// The payload as a byte sequence (little-endian limb image) — exactly
+  /// the bytes a wire frame carries. Valid while the payload lives.
+  std::span<const std::uint8_t> byte_view() const {
+    return {reinterpret_cast<const std::uint8_t*>(words_.data()), bytes_};
+  }
 
  private:
   std::size_t bytes_;

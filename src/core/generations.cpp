@@ -1,6 +1,15 @@
 #include "core/generations.hpp"
 
 #include "common/check.hpp"
+#include "wire/codec.hpp"
+
+namespace ltnc::core {
+
+std::size_t GenerationPacket::wire_bytes() const {
+  return wire::serialized_size_generation(generation, packet);
+}
+
+}  // namespace ltnc::core
 
 namespace ltnc::core {
 

@@ -34,9 +34,10 @@ struct GenerationPacket {
   std::uint32_t generation = 0;
   CodedPacket packet;
 
-  std::size_t wire_bytes() const {
-    return sizeof(std::uint32_t) + packet.wire_bytes();
-  }
+  /// Exact serialized size of the kGenerationPacket frame carrying this
+  /// packet — computed by the wire codec (wire/codec.hpp) so the header
+  /// arithmetic can never drift from what actually crosses the wire.
+  std::size_t wire_bytes() const;
 };
 
 struct GenerationConfig {

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
+#include "wire/codec.hpp"
 
 namespace ltnc::dissem {
 
@@ -69,10 +70,20 @@ bool EpidemicSimulation::attempt_transfer(const CodedPacket& packet,
                                           NodeId target) {
   NodeProtocol& receiver = *nodes_[target];
   ++traffic_.attempts;
-  // The code vector rides in the header and is always paid for.
-  traffic_.header_bytes += (cfg_.k + 7) / 8;
+  const std::uint64_t seq = transfer_seq_++;
+  // The header (everything ahead of the payload span — framing,
+  // dimensions, adaptive code vector) travels first and is always paid
+  // for. serialized_size() is the codec's own exact arithmetic, so the
+  // charge is the measured frame size without paying the payload memcpy
+  // for attempts that abort or get lost before the payload moves.
+  const std::size_t payload_span = packet.payload.size_bytes();
+  traffic_.header_bytes += wire::serialized_size(packet) - payload_span;
   if (cfg_.feedback != FeedbackMode::kNone &&
       receiver.would_reject(packet.coeffs)) {
+    // The veto crosses the feedback channel as a measured abort frame
+    // (silence means proceed, so accepted transfers cost nothing here).
+    wire::serialize_feedback(wire::MessageType::kAbort, seq, feedback_frame_);
+    traffic_.control_bytes += feedback_frame_.size();
     ++traffic_.aborted;
     return false;
   }
@@ -80,10 +91,18 @@ bool EpidemicSimulation::attempt_transfer(const CodedPacket& packet,
     ++traffic_.lost;
     return false;
   }
-  traffic_.payload_bytes += cfg_.payload_bytes;
+  traffic_.payload_bytes += payload_span;
   ++traffic_.payload_transfers;
   ++payload_receptions_[target];
-  receiver.deliver(packet);
+  // Deliver what came off the wire, not the sender's object: frame the
+  // packet through the codec and hand the reconstructed packet to the
+  // receiver.
+  wire::serialize(packet, frame_);
+  const wire::DecodeStatus status =
+      wire::deserialize(frame_.bytes(), rx_packet_);
+  LTNC_CHECK_MSG(status == wire::DecodeStatus::kOk,
+                 "wire round-trip failed in simulation");
+  receiver.deliver(rx_packet_);
   after_transfer(target);
 
   // Wireless broadcast medium: bystanders snoop the transfer for free and
@@ -93,10 +112,10 @@ bool EpidemicSimulation::attempt_transfer(const CodedPacket& packet,
         static_cast<NodeId>(rng_.uniform(cfg_.num_nodes));
     if (bystander == target) continue;
     NodeProtocol& listener = *nodes_[bystander];
-    if (listener.would_reject(packet.coeffs)) continue;
+    if (listener.would_reject(rx_packet_.coeffs)) continue;
     ++overheard_useful_;
     ++payload_receptions_[bystander];
-    listener.deliver(packet);
+    listener.deliver(rx_packet_);
     after_transfer(bystander);
   }
   return true;
@@ -117,11 +136,17 @@ void EpidemicSimulation::node_push(NodeId sender) {
   const NodeId target = sampler_->sample(rng_, sender);
   std::optional<CodedPacket> packet;
   if (cfg_.feedback == FeedbackMode::kSmart) {
-    // Full feedback channel: the receiver ships its cc array first.
+    // Full feedback channel: the receiver ships its cc array first, as a
+    // measured kCcArray frame the sender decodes before constructing.
     const auto* receiver_cc = nodes_[target]->component_leaders();
     if (receiver_cc != nullptr) {
-      traffic_.feedback_bytes += receiver_cc->size() * sizeof(std::uint32_t);
-      packet = node.emit_for(*receiver_cc, rng_);
+      wire::serialize_cc(*receiver_cc, feedback_frame_);
+      traffic_.feedback_bytes += feedback_frame_.size();
+      const wire::DecodeStatus status =
+          wire::deserialize_cc(feedback_frame_.bytes(), cc_scratch_);
+      LTNC_CHECK_MSG(status == wire::DecodeStatus::kOk,
+                     "cc-array round-trip failed in simulation");
+      packet = node.emit_for(cc_scratch_, rng_);
     } else {
       packet = node.emit(rng_);
     }

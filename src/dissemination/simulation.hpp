@@ -27,6 +27,7 @@
 #include "dissemination/sources.hpp"
 #include "net/peer_sampler.hpp"
 #include "net/traffic.hpp"
+#include "wire/frame.hpp"
 
 namespace ltnc::dissem {
 
@@ -146,6 +147,16 @@ class EpidemicSimulation {
 
   void churn_one_node();
   ProtocolParams protocol_params() const;
+
+  // Wire-format scratch: every transfer is serialized through the codec
+  // and decoded back before delivery, so byte counters are measured frame
+  // sizes and the protocol state only ever sees what survived framing.
+  // Reused across transfers (arena-backed) — no per-packet heap churn.
+  wire::Frame frame_;
+  wire::Frame feedback_frame_;
+  CodedPacket rx_packet_;
+  std::vector<std::uint32_t> cc_scratch_;
+  std::uint64_t transfer_seq_ = 0;
 
   std::size_t round_ = 0;
   std::size_t complete_count_ = 0;

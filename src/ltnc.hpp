@@ -10,7 +10,8 @@
 //   core/…          LTNC — the recoding network-code (paper §III),
 //                   plus the generations extension
 //   rlnc/…, wc/…    the paper's two baselines
-//   net/…           peer sampling and traffic accounting
+//   wire/…          versioned binary wire codec + frame buffers
+//   net/…           peer sampling, traffic accounting, transports
 //   dissemination/… the epidemic simulator used by the evaluation
 //   metrics/…       Monte-Carlo experiment harness
 #pragma once
@@ -35,6 +36,11 @@
 #include "lt/soliton.hpp"            // IWYU pragma: export
 #include "metrics/experiment.hpp"    // IWYU pragma: export
 #include "net/peer_sampler.hpp"      // IWYU pragma: export
+#include "net/sim_channel.hpp"       // IWYU pragma: export
 #include "net/traffic.hpp"           // IWYU pragma: export
+#include "net/transport.hpp"         // IWYU pragma: export
+#include "net/udp_transport.hpp"     // IWYU pragma: export
 #include "rlnc/rlnc_codec.hpp"       // IWYU pragma: export
 #include "wc/wc_node.hpp"            // IWYU pragma: export
+#include "wire/codec.hpp"            // IWYU pragma: export
+#include "wire/frame.hpp"            // IWYU pragma: export

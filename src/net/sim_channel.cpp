@@ -1,0 +1,68 @@
+#include "net/sim_channel.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace ltnc::net {
+
+SimChannel::SimChannel(const SimChannelConfig& config)
+    : cfg_(config), rng_(config.seed), ring_(config.capacity) {
+  LTNC_CHECK_MSG(config.capacity > 0, "SimChannel needs a non-empty queue");
+}
+
+void SimChannel::enqueue(std::span<const std::uint8_t> frame) {
+  if (size_ == ring_.size()) {
+    ++stats_.dropped_overflow;
+    return;
+  }
+  const std::size_t at = slot(size_);
+  if (ring_[at].capacity() < frame.size() && !spares_.empty()) {
+    ring_[at] = std::move(spares_.back());
+    spares_.pop_back();
+  }
+  ring_[at].assign(frame);
+  ++size_;
+  // Reordering: swap the fresh arrival with a random earlier in-flight
+  // frame, so it overtakes it on delivery.
+  if (size_ > 1 && cfg_.reorder_rate > 0.0 && rng_.chance(cfg_.reorder_rate)) {
+    const std::size_t other = slot(rng_.uniform(size_ - 1));
+    std::swap(ring_[at], ring_[other]);
+    ++stats_.reordered;
+  }
+}
+
+bool SimChannel::send(std::span<const std::uint8_t> frame) {
+  if (frame.size() > cfg_.mtu) {
+    ++stats_.dropped_mtu;
+    return false;
+  }
+  ++stats_.sent;
+  if (cfg_.loss_rate > 0.0 && rng_.chance(cfg_.loss_rate)) {
+    ++stats_.dropped_loss;
+    return true;  // accepted, then lost in flight
+  }
+  enqueue(frame);
+  if (cfg_.duplicate_rate > 0.0 && rng_.chance(cfg_.duplicate_rate)) {
+    ++stats_.duplicated;
+    enqueue(frame);
+  }
+  return true;
+}
+
+bool SimChannel::recv(wire::Frame& out) {
+  if (size_ == 0) return false;
+  // Hand over storage instead of copying: the caller's old buffer goes to
+  // the spare pool (where the next enqueue picks it up warm) and the
+  // queued frame moves out whole.
+  if (spares_.size() < ring_.size()) {
+    spares_.push_back(std::move(out));
+  }
+  out = std::move(ring_[head_]);
+  head_ = (head_ + 1) % ring_.size();
+  --size_;
+  ++stats_.delivered;
+  return true;
+}
+
+}  // namespace ltnc::net

@@ -2,9 +2,12 @@
 //
 // Every push is a unicast transfer whose code vector travels first (in the
 // header); the binary feedback channel lets the receiver abort before the
-// payload moves (§III-C.2, §IV-A: "aborting a transfer is simply achieved
-// by closing the TCP connection"). Overhead (Fig. 7c) is derived from the
-// payloads that actually crossed the wire beyond the k each node needs.
+// payload moves (§III-C.2, §IV-A). All byte counters are **measured**: the
+// simulator serializes every message through the wire codec
+// (wire/codec.hpp) and charges the actual frame sizes — adaptive
+// dense/sparse code vectors included — rather than estimating with header
+// arithmetic. Overhead (Fig. 7c) is derived from the payloads that
+// actually crossed the wire beyond the k each node needs.
 #pragma once
 
 #include <cstddef>
@@ -17,14 +20,22 @@ struct TrafficStats {
   std::uint64_t aborted = 0;           ///< vetoed by the feedback channel
   std::uint64_t lost = 0;              ///< dropped by the lossy channel
   std::uint64_t payload_transfers = 0; ///< payloads fully transmitted
-  std::uint64_t header_bytes = 0;      ///< code vectors (sent on every attempt)
-  std::uint64_t payload_bytes = 0;     ///< data actually transferred
-  std::uint64_t feedback_bytes = 0;    ///< cc arrays shipped (smart mode)
+  std::uint64_t header_bytes = 0;   ///< measured frame bytes ahead of the
+                                    ///< payload (sent on every attempt)
+  std::uint64_t payload_bytes = 0;  ///< payload bytes actually delivered
+  std::uint64_t feedback_bytes = 0; ///< measured cc-array frames (smart mode)
+  std::uint64_t control_bytes = 0;  ///< measured abort frames (binary
+                                    ///< feedback; silence means proceed)
 
   double abort_rate() const {
     return attempts == 0
                ? 0.0
                : static_cast<double>(aborted) / static_cast<double>(attempts);
+  }
+
+  /// Every byte that crossed the wire, as framed by the codec.
+  std::uint64_t wire_bytes_total() const {
+    return header_bytes + payload_bytes + feedback_bytes + control_bytes;
   }
 
   TrafficStats& operator+=(const TrafficStats& o) {
@@ -35,6 +46,7 @@ struct TrafficStats {
     header_bytes += o.header_bytes;
     payload_bytes += o.payload_bytes;
     feedback_bytes += o.feedback_bytes;
+    control_bytes += o.control_bytes;
     return *this;
   }
 };

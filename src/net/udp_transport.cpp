@@ -1,0 +1,142 @@
+#include "net/udp_transport.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ltnc::net {
+
+namespace {
+
+bool parse_endpoint(const std::string& address, std::uint16_t port,
+                    sockaddr_in& out, std::string* error) {
+  std::memset(&out, 0, sizeof(out));
+  out.sin_family = AF_INET;
+  out.sin_port = htons(port);
+  if (inet_pton(AF_INET, address.c_str(), &out.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad IPv4 address: " + address;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+static_assert(sizeof(sockaddr_in) <= 16,
+              "peer_addr_ storage must hold a sockaddr_in");
+
+std::unique_ptr<UdpTransport> UdpTransport::open(const UdpConfig& config,
+                                                 std::string* error) {
+  std::unique_ptr<UdpTransport> t(new UdpTransport());
+  t->mtu_ = config.mtu;
+
+  t->fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (t->fd_ < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + strerror(errno);
+    return nullptr;
+  }
+
+  sockaddr_in bind_addr{};
+  if (!parse_endpoint(config.bind_address, config.bind_port, bind_addr,
+                      error)) {
+    return nullptr;
+  }
+  if (::bind(t->fd_, reinterpret_cast<const sockaddr*>(&bind_addr),
+             sizeof(bind_addr)) != 0) {
+    if (error != nullptr) *error = std::string("bind: ") + strerror(errno);
+    return nullptr;
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(t->fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    if (error != nullptr) {
+      *error = std::string("getsockname: ") + strerror(errno);
+    }
+    return nullptr;
+  }
+  t->local_port_ = ntohs(bound.sin_port);
+
+  const int fl = ::fcntl(t->fd_, F_GETFL, 0);
+  if (fl < 0 || ::fcntl(t->fd_, F_SETFL, fl | O_NONBLOCK) != 0) {
+    if (error != nullptr) *error = std::string("fcntl: ") + strerror(errno);
+    return nullptr;
+  }
+
+  if (!config.peer_address.empty()) {
+    sockaddr_in peer{};
+    if (!parse_endpoint(config.peer_address, config.peer_port, peer, error)) {
+      return nullptr;
+    }
+    std::memcpy(t->peer_addr_, &peer, sizeof(peer));
+    t->has_peer_ = true;
+  }
+  return t;
+}
+
+UdpTransport::~UdpTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool UdpTransport::send(std::span<const std::uint8_t> frame) {
+  if (!has_peer_ || frame.size() > mtu_) return false;
+  sockaddr_in peer;
+  std::memcpy(&peer, peer_addr_, sizeof(peer));
+  const ssize_t n =
+      ::sendto(fd_, frame.data(), frame.size(), 0,
+               reinterpret_cast<const sockaddr*>(&peer), sizeof(peer));
+  return n == static_cast<ssize_t>(frame.size());
+}
+
+bool UdpTransport::recv(wire::Frame& out) {
+  out.resize(mtu_);
+  sockaddr_in from{};
+  socklen_t from_len = sizeof(from);
+  const ssize_t n =
+      ::recvfrom(fd_, out.data(), out.capacity(), 0,
+                 reinterpret_cast<sockaddr*>(&from), &from_len);
+  if (n < 0) {
+    out.clear();
+    return false;  // EAGAIN / EWOULDBLOCK: nothing pending
+  }
+  out.resize(static_cast<std::size_t>(n));
+  std::memcpy(last_sender_, &from, sizeof(from));
+  has_last_sender_ = true;
+  return true;
+}
+
+bool UdpTransport::set_peer_to_last_sender() {
+  if (!has_last_sender_) return false;
+  std::memcpy(peer_addr_, last_sender_, sizeof(sockaddr_in));
+  has_peer_ = true;
+  return true;
+}
+
+}  // namespace ltnc::net
+
+#else  // non-POSIX stub
+
+namespace ltnc::net {
+
+std::unique_ptr<UdpTransport> UdpTransport::open(const UdpConfig&,
+                                                 std::string* error) {
+  if (error != nullptr) *error = "UDP transport requires a POSIX platform";
+  return nullptr;
+}
+
+UdpTransport::~UdpTransport() = default;
+bool UdpTransport::send(std::span<const std::uint8_t>) { return false; }
+bool UdpTransport::recv(wire::Frame&) { return false; }
+bool UdpTransport::set_peer_to_last_sender() { return false; }
+
+}  // namespace ltnc::net
+
+#endif

@@ -1,0 +1,76 @@
+// UdpTransport — real POSIX UDP sockets under the wire codec.
+//
+// One frame = one UDP datagram (pyrofling-style simple sockets): the
+// socket is bound, set non-blocking, and polled from the single-threaded
+// protocol loop. recv() lands datagrams straight into the caller's
+// arena-backed wire::Frame (no intermediate buffer) and remembers the
+// source address, so a receiver can lock onto whoever is talking to it
+// and ship feedback frames back — the abort/ack channel of §III-C over a
+// real network.
+//
+// Compiled to a stub returning "unsupported" on non-POSIX platforms so
+// the library stays portable; everything else in src/net is pure C++.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/transport.hpp"
+
+namespace ltnc::net {
+
+struct UdpConfig {
+  std::string bind_address = "0.0.0.0";
+  std::uint16_t bind_port = 0;  ///< 0 = ephemeral (see local_port())
+  std::string peer_address;     ///< empty = receive-only until a peer is set
+  std::uint16_t peer_port = 0;
+  std::size_t mtu = 65507;  ///< max UDP payload over IPv4
+};
+
+class UdpTransport final : public Transport {
+ public:
+  /// Opens and binds the socket. Returns nullptr on failure with a
+  /// human-readable reason in `error` (also on non-POSIX builds).
+  static std::unique_ptr<UdpTransport> open(const UdpConfig& config,
+                                            std::string* error);
+
+  ~UdpTransport() override;
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  /// Sends one datagram to the configured peer. False when no peer is set
+  /// or the kernel refuses (including frames over the MTU).
+  bool send(std::span<const std::uint8_t> frame) override;
+
+  /// Non-blocking receive; false when no datagram is pending. Oversized
+  /// datagrams are truncated by the kernel and will fail frame decoding —
+  /// the codec treats them as malformed, which is the right failure mode.
+  bool recv(wire::Frame& out) override;
+
+  std::size_t mtu() const override { return mtu_; }
+
+  /// Port actually bound (resolves an ephemeral bind_port = 0).
+  std::uint16_t local_port() const { return local_port_; }
+
+  bool has_peer() const { return has_peer_; }
+
+  /// Redirects send() at the source of the most recently received
+  /// datagram — how a receiver acquires its feedback channel.
+  bool set_peer_to_last_sender();
+
+ private:
+  UdpTransport() = default;
+
+  int fd_ = -1;
+  std::size_t mtu_ = 0;
+  std::uint16_t local_port_ = 0;
+  bool has_peer_ = false;
+  bool has_last_sender_ = false;
+  // sockaddr_in storage without leaking <netinet/in.h> into the header.
+  alignas(8) unsigned char peer_addr_[16] = {};
+  alignas(8) unsigned char last_sender_[16] = {};
+};
+
+}  // namespace ltnc::net

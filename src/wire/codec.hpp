@@ -1,0 +1,117 @@
+// Versioned binary wire codec for every LTNC protocol message.
+//
+// Frame layout (all multi-byte integers are LEB128 varints unless noted):
+//
+//   +---------+---------+---------+----------------------------------+
+//   | version |  type   |  flags  |  type-specific body …            |
+//   |  (u8)   |  (u8)   |  (u8)   |                                  |
+//   +---------+---------+---------+----------------------------------+
+//
+//   kCodedPacket       varint k, varint m, code vector, m payload bytes
+//   kGenerationPacket  varint generation, then the kCodedPacket body
+//   kAbort / kAck      varint token (binary feedback channel, §III-C.2)
+//   kCcArray           varint n, n × varint leader (smart feedback)
+//
+// The code vector uses **adaptive encoding** — the serializer computes
+// both sizes and picks the smaller, recording the choice in flags bit 0:
+//
+//   dense  (flag 0): ceil(k/8) bitmap bytes, bit i of the vector at byte
+//                    i/8 bit i%8; bits past k in the last byte must be 0.
+//   sparse (flag 1): varint degree d, then the first set index followed
+//                    by d-1 gap-minus-one deltas (indices are strictly
+//                    increasing, so every delta varint is ≥ 0).
+//
+// Low-degree packets — the common case under a Soliton distribution — are
+// where sparse wins: a degree-8 packet over k = 1024 costs ~11 bytes
+// instead of the 128-byte bitmap.
+//
+// Version byte policy: kProtocolVersion is bumped on any incompatible
+// layout change; decoders hard-reject frames with an unknown version or
+// any reserved flag bit set, so old decoders can never misparse new
+// traffic. Deserialization is defensive end to end: every read is
+// bounds-checked, declared dimensions are capped before any allocation,
+// and a frame must be consumed exactly (no trailing bytes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "common/coded_packet.hpp"
+#include "common/payload.hpp"
+#include "wire/frame.hpp"
+
+namespace ltnc::wire {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Hard caps on declared dimensions: a garbage varint must not drive a
+/// multi-gigabyte allocation. Generous for any realistic deployment.
+inline constexpr std::size_t kMaxCodeLength = std::size_t{1} << 24;
+inline constexpr std::size_t kMaxPayloadBytes = std::size_t{1} << 28;
+
+enum class MessageType : std::uint8_t {
+  kCodedPacket = 1,
+  kGenerationPacket = 2,
+  kAbort = 3,  ///< binary feedback: receiver vetoes the advertised vector
+  kAck = 4,    ///< binary feedback: receiver accepts / transfer complete
+  kCcArray = 5,  ///< smart feedback: the receiver's component-leader array
+};
+
+enum class CoeffEncoding : std::uint8_t { kDense = 0, kSparse = 1 };
+
+enum class DecodeStatus : std::uint8_t {
+  kOk = 0,
+  kTruncated,      ///< frame ends before the declared content
+  kBadVersion,     ///< unknown protocol version byte
+  kBadType,        ///< unknown message type (or not the expected one)
+  kMalformed,      ///< reserved flag bits, dimension caps, non-canonical
+                   ///< varints, unordered sparse indices, dirty tail bits
+  kTrailingBytes,  ///< frame longer than the message it carries
+};
+
+const char* status_name(DecodeStatus status);
+
+// -- sizes (exact, shared with serialization so they can never drift) ------
+
+/// Encoded size of a code vector under the given encoding.
+std::size_t coeff_encoded_size(const BitVector& coeffs, CoeffEncoding enc);
+
+/// The encoding the serializer will pick (the smaller; dense wins ties).
+CoeffEncoding choose_coeff_encoding(const BitVector& coeffs);
+
+std::size_t serialized_size(const CodedPacket& packet);
+std::size_t serialized_size_generation(std::uint32_t generation,
+                                       const CodedPacket& packet);
+std::size_t serialized_size_feedback(std::uint64_t token);
+std::size_t serialized_size_cc(std::span<const std::uint32_t> leaders);
+
+// -- serialization (overwrites `out`; word-span zero-copy fast paths) ------
+
+void serialize(const CodedPacket& packet, Frame& out);
+void serialize_generation(std::uint32_t generation, const CodedPacket& packet,
+                          Frame& out);
+/// `type` must be kAbort or kAck.
+void serialize_feedback(MessageType type, std::uint64_t token, Frame& out);
+void serialize_cc(std::span<const std::uint32_t> leaders, Frame& out);
+
+// -- deserialization (hardened; never reads past `frame`) ------------------
+
+/// Message type of a frame without decoding the body (kOk ⇒ `type` set and
+/// the version byte checked).
+DecodeStatus peek_type(std::span<const std::uint8_t> frame, MessageType& type);
+
+DecodeStatus deserialize(std::span<const std::uint8_t> frame,
+                         CodedPacket& packet);
+DecodeStatus deserialize_generation(std::span<const std::uint8_t> frame,
+                                    std::uint32_t& generation,
+                                    CodedPacket& packet);
+/// Accepts kAbort or kAck; reports which via `type`.
+DecodeStatus deserialize_feedback(std::span<const std::uint8_t> frame,
+                                  MessageType& type, std::uint64_t& token);
+DecodeStatus deserialize_cc(std::span<const std::uint8_t> frame,
+                            std::vector<std::uint32_t>& leaders);
+
+}  // namespace ltnc::wire

@@ -15,7 +15,10 @@
 #include "core/ltnc_codec.hpp"
 #include "gf2/gaussian.hpp"
 #include "lt/lt_encoder.hpp"
+#include "net/sim_channel.hpp"
 #include "rlnc/rlnc_codec.hpp"
+#include "wire/codec.hpp"
+#include "wire/frame.hpp"
 
 namespace {
 std::uint64_t g_allocations = 0;
@@ -165,6 +168,62 @@ TEST(SteadyStateAllocation, LtncRecodeIsAllocationFree) {
   }
   EXPECT_EQ(g_allocations, before)
       << "LTNC recode allocated on the steady-state path";
+}
+
+TEST(SteadyStateAllocation, WireRoundTripIsAllocationFree) {
+  // encode → serialize → SimChannel → deserialize → decode: the whole
+  // data path a deployed node runs per packet. Frame buffers are leased
+  // from the arena and the channel ring recycles, so after warmup not a
+  // single global allocation may happen per packet.
+  const std::size_t k = 256;
+  const std::size_t m = 1024;
+  lt::LtEncoder enc(lt::make_native_payloads(k, m, 17));
+  net::SimChannel channel(net::SimChannelConfig{});
+  Rng rng(61);
+  wire::Frame tx;
+  wire::Frame rx_frame;
+  CodedPacket rx;
+  const auto pump = [&] {
+    const CodedPacket pkt = enc.encode(rng);
+    wire::serialize(pkt, tx);
+    ASSERT_TRUE(channel.send(tx.bytes()));
+    ASSERT_TRUE(channel.recv(rx_frame));
+    ASSERT_EQ(wire::deserialize(rx_frame.bytes(), rx),
+              wire::DecodeStatus::kOk);
+    g_sink = g_sink ^ rx.coeffs.words()[0] ^ rx.payload.words()[0];
+  };
+  for (int i = 0; i < 500; ++i) pump();  // warm arena, ring and scratch
+  const std::uint64_t before = g_allocations;
+  for (int i = 0; i < 2000; ++i) pump();
+  EXPECT_EQ(g_allocations, before)
+      << "wire serialize/transport/deserialize allocated at steady state";
+}
+
+TEST(SteadyStateAllocation, FeedbackAndCcFramesAreAllocationFree) {
+  // The control-plane messages of the feedback channel must recycle the
+  // same way the data plane does.
+  wire::Frame frame;
+  std::vector<std::uint32_t> leaders(64);
+  for (std::size_t i = 0; i < leaders.size(); ++i) {
+    leaders[i] = static_cast<std::uint32_t>(i % 7);
+  }
+  std::vector<std::uint32_t> decoded;
+  wire::MessageType type{};
+  std::uint64_t token = 0;
+  const auto pump = [&](std::uint64_t seq) {
+    wire::serialize_feedback(wire::MessageType::kAbort, seq, frame);
+    ASSERT_EQ(wire::deserialize_feedback(frame.bytes(), type, token),
+              wire::DecodeStatus::kOk);
+    wire::serialize_cc(leaders, frame);
+    ASSERT_EQ(wire::deserialize_cc(frame.bytes(), decoded),
+              wire::DecodeStatus::kOk);
+    g_sink = g_sink ^ token ^ decoded.back();
+  };
+  for (std::uint64_t i = 0; i < 200; ++i) pump(i);
+  const std::uint64_t before = g_allocations;
+  for (std::uint64_t i = 0; i < 2000; ++i) pump(i);
+  EXPECT_EQ(g_allocations, before)
+      << "feedback/cc wire frames allocated at steady state";
 }
 
 TEST(SteadyStateAllocation, BpDuplicateReceiveIsAllocationFree) {

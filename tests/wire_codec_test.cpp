@@ -1,0 +1,327 @@
+// Wire codec: round-trip identity for every message type (property-tested
+// over random dimensions/degrees), adaptive code-vector encoding choice,
+// size-function agreement, and the strict v1 rejection policy.
+#include "wire/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "common/coded_packet.hpp"
+#include "common/payload.hpp"
+#include "common/rng.hpp"
+#include "core/generations.hpp"
+#include "wire/frame.hpp"
+
+namespace ltnc::wire {
+namespace {
+
+BitVector random_coeffs(std::size_t k, std::size_t degree, Rng& rng) {
+  BitVector v(k);
+  while (v.popcount() < degree) v.set(rng.uniform(k));
+  return v;
+}
+
+Payload random_payload(std::size_t bytes, Rng& rng) {
+  Payload p(bytes);
+  for (std::size_t w = 0; w < p.word_count(); ++w) {
+    p.mutable_words()[w] = rng.next();
+  }
+  // Respect the masked-tail invariant for byte sizes that are not a
+  // multiple of 8 (same rule as Payload::deterministic).
+  const std::size_t tail = bytes % 8;
+  if (tail != 0 && p.word_count() != 0) {
+    p.mutable_words()[p.word_count() - 1] &= ~0ULL >> ((8 - tail) * 8);
+  }
+  return p;
+}
+
+TEST(WireCodec, CodedPacketRoundTripsAcrossDimensions) {
+  Rng rng(101);
+  for (const std::size_t k : {1u, 7u, 8u, 63u, 64u, 65u, 200u, 1024u}) {
+    for (const std::size_t m : {0u, 1u, 7u, 8u, 64u, 257u}) {
+      for (int rep = 0; rep < 8; ++rep) {
+        const std::size_t degree = rng.uniform(k + 1);
+        const CodedPacket original(random_coeffs(k, degree, rng),
+                                   random_payload(m, rng));
+        Frame frame;
+        serialize(original, frame);
+        EXPECT_EQ(frame.size(), serialized_size(original));
+        EXPECT_EQ(frame.size(), original.wire_bytes());
+
+        CodedPacket decoded;
+        ASSERT_EQ(deserialize(frame.bytes(), decoded), DecodeStatus::kOk)
+            << "k=" << k << " m=" << m << " degree=" << degree;
+        EXPECT_EQ(decoded.coeffs, original.coeffs);
+        EXPECT_EQ(decoded.payload, original.payload);
+      }
+    }
+  }
+}
+
+TEST(WireCodec, ZeroDegreeAndFullDegreeRoundTrip) {
+  Rng rng(102);
+  for (const std::size_t k : {1u, 64u, 100u}) {
+    BitVector none(k);
+    BitVector all(k);
+    for (std::size_t i = 0; i < k; ++i) all.set(i);
+    for (const BitVector& coeffs : {none, all}) {
+      const CodedPacket original(coeffs, random_payload(16, rng));
+      Frame frame;
+      serialize(original, frame);
+      CodedPacket decoded;
+      ASSERT_EQ(deserialize(frame.bytes(), decoded), DecodeStatus::kOk);
+      EXPECT_EQ(decoded.coeffs, original.coeffs);
+    }
+  }
+}
+
+TEST(WireCodec, GenerationPacketRoundTrips) {
+  Rng rng(103);
+  for (const std::uint32_t generation :
+       {0u, 1u, 127u, 128u, 0xFFFFu, 0xFFFFFFFFu}) {
+    const CodedPacket original(random_coeffs(96, 5, rng),
+                               random_payload(33, rng));
+    Frame frame;
+    serialize_generation(generation, original, frame);
+    EXPECT_EQ(frame.size(), serialized_size_generation(generation, original));
+
+    std::uint32_t decoded_gen = 0;
+    CodedPacket decoded;
+    ASSERT_EQ(deserialize_generation(frame.bytes(), decoded_gen, decoded),
+              DecodeStatus::kOk);
+    EXPECT_EQ(decoded_gen, generation);
+    EXPECT_EQ(decoded.coeffs, original.coeffs);
+    EXPECT_EQ(decoded.payload, original.payload);
+
+    core::GenerationPacket pkt{generation, original};
+    EXPECT_EQ(pkt.wire_bytes(), frame.size());
+  }
+}
+
+TEST(WireCodec, FeedbackRoundTrips) {
+  for (const MessageType type : {MessageType::kAbort, MessageType::kAck}) {
+    for (const std::uint64_t token :
+         {std::uint64_t{0}, std::uint64_t{127}, std::uint64_t{128},
+          std::uint64_t{1} << 40, ~std::uint64_t{0}}) {
+      Frame frame;
+      serialize_feedback(type, token, frame);
+      EXPECT_EQ(frame.size(), serialized_size_feedback(token));
+
+      MessageType decoded_type{};
+      std::uint64_t decoded_token = 0;
+      ASSERT_EQ(deserialize_feedback(frame.bytes(), decoded_type,
+                                     decoded_token),
+                DecodeStatus::kOk);
+      EXPECT_EQ(decoded_type, type);
+      EXPECT_EQ(decoded_token, token);
+    }
+  }
+}
+
+TEST(WireCodec, CcArrayRoundTrips) {
+  Rng rng(104);
+  for (const std::size_t n : {0u, 1u, 17u, 300u}) {
+    std::vector<std::uint32_t> leaders(n);
+    for (auto& leader : leaders) {
+      leader = static_cast<std::uint32_t>(rng.next());
+    }
+    Frame frame;
+    serialize_cc(leaders, frame);
+    EXPECT_EQ(frame.size(), serialized_size_cc(leaders));
+
+    std::vector<std::uint32_t> decoded;
+    ASSERT_EQ(deserialize_cc(frame.bytes(), decoded), DecodeStatus::kOk);
+    EXPECT_EQ(decoded, leaders);
+  }
+}
+
+TEST(WireCodec, PeekTypeSeesEveryMessage) {
+  Frame frame;
+  MessageType type{};
+
+  serialize(CodedPacket(BitVector(8), Payload(4)), frame);
+  ASSERT_EQ(peek_type(frame.bytes(), type), DecodeStatus::kOk);
+  EXPECT_EQ(type, MessageType::kCodedPacket);
+
+  serialize_feedback(MessageType::kAck, 9, frame);
+  ASSERT_EQ(peek_type(frame.bytes(), type), DecodeStatus::kOk);
+  EXPECT_EQ(type, MessageType::kAck);
+
+  serialize_cc({}, frame);
+  ASSERT_EQ(peek_type(frame.bytes(), type), DecodeStatus::kOk);
+  EXPECT_EQ(type, MessageType::kCcArray);
+}
+
+// -- adaptive code-vector encoding -----------------------------------------
+
+TEST(WireCodec, SparseBeatsDenseAtLowDegree) {
+  Rng rng(105);
+  const std::size_t k = 1024;
+  const std::size_t dense = coeff_encoded_size(BitVector(k),
+                                               CoeffEncoding::kDense);
+  EXPECT_EQ(dense, 128u);
+  for (const std::size_t degree : {1u, 2u, 8u, 32u, 64u}) {
+    const BitVector coeffs = random_coeffs(k, degree, rng);
+    EXPECT_EQ(choose_coeff_encoding(coeffs), CoeffEncoding::kSparse)
+        << "degree=" << degree;
+    EXPECT_LT(coeff_encoded_size(coeffs, CoeffEncoding::kSparse), dense);
+  }
+  for (const std::size_t degree : {256u, 512u, 1024u}) {
+    const BitVector coeffs = random_coeffs(k, degree, rng);
+    EXPECT_EQ(choose_coeff_encoding(coeffs), CoeffEncoding::kDense)
+        << "degree=" << degree;
+  }
+}
+
+TEST(WireCodec, ChosenEncodingNeverLoses) {
+  // The serializer's pick is exactly min(dense, sparse) for every shape.
+  Rng rng(106);
+  for (int rep = 0; rep < 200; ++rep) {
+    const std::size_t k = 1 + rng.uniform(600);
+    const std::size_t degree = rng.uniform(k + 1);
+    const BitVector coeffs = random_coeffs(k, degree, rng);
+    const std::size_t dense = coeff_encoded_size(coeffs,
+                                                 CoeffEncoding::kDense);
+    const std::size_t sparse = coeff_encoded_size(coeffs,
+                                                  CoeffEncoding::kSparse);
+    const std::size_t chosen =
+        coeff_encoded_size(coeffs, choose_coeff_encoding(coeffs));
+    EXPECT_EQ(chosen, std::min(dense, sparse));
+  }
+}
+
+TEST(WireCodec, WireBytesTracksDegree) {
+  // Satellite check: wire_bytes() is the codec size, so a low-degree
+  // packet over a large k reports far less than the old bitmap formula.
+  const std::size_t k = 1024;
+  const CodedPacket low(BitVector::unit(k, 3), Payload(64));
+  EXPECT_LT(low.wire_bytes(), (k + 7) / 8 + 64);
+  Frame frame;
+  serialize(low, frame);
+  EXPECT_EQ(low.wire_bytes(), frame.size());
+}
+
+// -- strict rejection policy -----------------------------------------------
+
+TEST(WireCodec, RejectsWrongVersion) {
+  Frame frame;
+  serialize(CodedPacket(BitVector(16), Payload(8)), frame);
+  frame.mutable_bytes()[0] = kProtocolVersion + 1;
+  CodedPacket decoded;
+  EXPECT_EQ(deserialize(frame.bytes(), decoded), DecodeStatus::kBadVersion);
+}
+
+TEST(WireCodec, RejectsUnknownType) {
+  Frame frame;
+  serialize(CodedPacket(BitVector(16), Payload(8)), frame);
+  frame.mutable_bytes()[1] = 0x7F;
+  CodedPacket decoded;
+  EXPECT_EQ(deserialize(frame.bytes(), decoded), DecodeStatus::kBadType);
+}
+
+TEST(WireCodec, RejectsMismatchedType) {
+  Frame frame;
+  serialize_feedback(MessageType::kAck, 1, frame);
+  CodedPacket decoded;
+  EXPECT_EQ(deserialize(frame.bytes(), decoded), DecodeStatus::kBadType);
+}
+
+TEST(WireCodec, RejectsReservedFlagBits) {
+  Frame frame;
+  serialize(CodedPacket(BitVector(16), Payload(8)), frame);
+  frame.mutable_bytes()[2] |= 0x80;
+  CodedPacket decoded;
+  EXPECT_EQ(deserialize(frame.bytes(), decoded), DecodeStatus::kMalformed);
+}
+
+TEST(WireCodec, RejectsDirtyTailBitsInDenseBitmap) {
+  // k = 12 leaves 4 tail bits in the second bitmap byte; a frame with any
+  // of them set must be rejected, or the decoded degree would be wrong.
+  BitVector coeffs(12);
+  coeffs.set(0);
+  Frame frame;
+  serialize(CodedPacket(coeffs, Payload(0)), frame);
+  ASSERT_EQ(frame.size(), 3u + 1 + 1 + 2);
+  frame.mutable_bytes()[frame.size() - 1] |= 0xF0;
+  CodedPacket decoded;
+  EXPECT_EQ(deserialize(frame.bytes(), decoded), DecodeStatus::kMalformed);
+}
+
+TEST(WireCodec, RejectsTrailingBytes) {
+  Frame frame;
+  serialize(CodedPacket(BitVector(16), Payload(8)), frame);
+  const std::uint8_t junk = 0;
+  frame.append(&junk, 1);
+  CodedPacket decoded;
+  EXPECT_EQ(deserialize(frame.bytes(), decoded), DecodeStatus::kTrailingBytes);
+}
+
+TEST(WireCodec, RejectsOversizedDimensions) {
+  // Hand-build a frame declaring k past the cap: ver/type/flags, then a
+  // 5-byte varint for 2^32.
+  const std::uint8_t huge_k[] = {kProtocolVersion,
+                                 static_cast<std::uint8_t>(
+                                     MessageType::kCodedPacket),
+                                 0,
+                                 0x80, 0x80, 0x80, 0x80, 0x10,  // k = 2^32
+                                 0x00};                         // m = 0
+  CodedPacket decoded;
+  EXPECT_EQ(deserialize({huge_k, sizeof(huge_k)}, decoded),
+            DecodeStatus::kMalformed);
+}
+
+TEST(WireCodec, RejectsOverlongVarint) {
+  // k = 0 encoded as 0x80 0x00 (overlong) must be rejected, so every
+  // message has exactly one byte representation.
+  const std::uint8_t overlong[] = {kProtocolVersion,
+                                   static_cast<std::uint8_t>(
+                                       MessageType::kCodedPacket),
+                                   0, 0x80, 0x00, 0x00};
+  CodedPacket decoded;
+  EXPECT_EQ(deserialize({overlong, sizeof(overlong)}, decoded),
+            DecodeStatus::kMalformed);
+}
+
+TEST(WireCodec, RejectsUnorderedSparseIndices) {
+  // Sparse degree 2 with a gap that walks past k.
+  const std::uint8_t bad[] = {kProtocolVersion,
+                              static_cast<std::uint8_t>(
+                                  MessageType::kCodedPacket),
+                              1,     // sparse
+                              0x08,  // k = 8
+                              0x00,  // m = 0
+                              0x02,  // degree 2
+                              0x07,  // index 7 (the last valid one)
+                              0x00};  // next = 7 + 0 + 1 = 8 ≥ k
+  CodedPacket decoded;
+  EXPECT_EQ(deserialize({bad, sizeof(bad)}, decoded),
+            DecodeStatus::kMalformed);
+}
+
+TEST(WireCodec, RejectsSparseDegreeAboveK) {
+  const std::uint8_t bad[] = {kProtocolVersion,
+                              static_cast<std::uint8_t>(
+                                  MessageType::kCodedPacket),
+                              1,     // sparse
+                              0x04,  // k = 4
+                              0x00,  // m = 0
+                              0x05};  // degree 5 > k
+  CodedPacket decoded;
+  EXPECT_EQ(deserialize({bad, sizeof(bad)}, decoded),
+            DecodeStatus::kMalformed);
+}
+
+TEST(WireCodec, RejectsEmptyFrame) {
+  CodedPacket decoded;
+  MessageType type{};
+  EXPECT_EQ(deserialize({}, decoded), DecodeStatus::kTruncated);
+  EXPECT_EQ(peek_type({}, type), DecodeStatus::kTruncated);
+}
+
+}  // namespace
+}  // namespace ltnc::wire
