@@ -57,11 +57,7 @@ int main(int argc, char** argv) {
       return std::string(arg.substr(p.size()));
     };
     if (arg.rfind("--scheme=", 0) == 0) {
-      const std::string v = val("--scheme=");
-      if (v == "ltnc") scheme = Scheme::kLtnc;
-      else if (v == "rlnc") scheme = Scheme::kRlnc;
-      else if (v == "wc") scheme = Scheme::kWc;
-      else usage();
+      if (!session::scheme_from_string(val("--scheme="), scheme)) usage();
     } else if (arg.rfind("--nodes=", 0) == 0) {
       cfg.num_nodes = std::stoul(val("--nodes="));
     } else if (arg.rfind("--k=", 0) == 0) {
@@ -73,11 +69,9 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--aggressiveness=", 0) == 0) {
       cfg.aggressiveness = std::stod(val("--aggressiveness="));
     } else if (arg.rfind("--feedback=", 0) == 0) {
-      const std::string v = val("--feedback=");
-      if (v == "none") cfg.feedback = FeedbackMode::kNone;
-      else if (v == "binary") cfg.feedback = FeedbackMode::kBinary;
-      else if (v == "smart") cfg.feedback = FeedbackMode::kSmart;
-      else usage();
+      if (!session::feedback_from_string(val("--feedback="), cfg.feedback)) {
+        usage();
+      }
     } else if (arg.rfind("--loss=", 0) == 0) {
       cfg.loss_rate = std::stod(val("--loss="));
     } else if (arg.rfind("--churn=", 0) == 0) {
@@ -132,6 +126,11 @@ int main(int argc, char** argv) {
   summary.add_row({"payload bytes on the wire",
                    TextTable::integer(static_cast<long long>(
                        res.traffic.payload_bytes))});
+  summary.add_row({"session advertises / vetoes (endpoints)",
+                   TextTable::integer(static_cast<long long>(
+                       res.sessions.advertises_received)) + " / " +
+                       TextTable::integer(static_cast<long long>(
+                           res.sessions.aborts_sent))});
   summary.add_row({"nodes churned",
                    TextTable::integer(static_cast<long long>(
                        res.nodes_churned))});

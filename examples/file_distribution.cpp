@@ -1,9 +1,16 @@
 // File distribution à la Avalanche (paper §I, §IV): a file split into k
 // blocks is pushed epidemically from one seed to a swarm of peers.
 //
+// The real-UDP modes run on the sans-I/O session layer: one
+// session::Endpoint per end drives the protocol (frame parsing, duplicate
+// suppression, the completion handshake) while this file only moves bytes
+// between the endpoint and a UdpTransport — the same Endpoint class the
+// epidemic simulator steps in-process.
+//
 // Modes:
-//   ./build/examples/file_distribution [peers] [blocks]
-//       Simulated swarm under all three schemes (the paper's trade-off).
+//   ./build/examples/file_distribution [peers] [blocks] [scheme]
+//       Simulated swarm (scheme = ltnc|rlnc|wc|all; the paper's
+//       trade-off table).
 //   ./build/examples/file_distribution --udp-recv <port> [blocks] [bytes]
 //       Bind a real UDP socket, decode incoming LT frames, verify the
 //       deterministic content, ack the sender when complete.
@@ -15,15 +22,15 @@
 //       proves a file really transfers and verifies over UDP.
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "common/table.hpp"
 #include "dissemination/simulation.hpp"
-#include "lt/bp_decoder.hpp"
 #include "lt/lt_encoder.hpp"
 #include "net/udp_transport.hpp"
-#include "wire/codec.hpp"
+#include "session/endpoint.hpp"
 
 namespace {
 
@@ -31,24 +38,79 @@ using namespace ltnc;
 
 constexpr std::uint64_t kContentSeed = 20100621;  // the file's identity
 
-struct UdpStats {
+/// What actually left through the socket (the endpoint's frames_sent
+/// counts frames *popped* for transmit; the kernel may still refuse one,
+/// so budgets and reports must count acceptances, as the pre-session
+/// loops did).
+struct UdpTally {
   std::uint64_t frames = 0;
   std::uint64_t bytes = 0;
 };
 
-/// Receives frames on `transport` until the decoder completes (or the
-/// spin budget runs out), then verifies every block and acks the sender.
+/// Sends every frame the endpoint has queued, tallying accepted sends.
+void flush(session::Endpoint& endpoint, net::Transport& transport,
+           wire::Frame& scratch, UdpTally& sent) {
+  session::PeerId peer = 0;
+  while (endpoint.poll_transmit(peer, scratch)) {
+    if (transport.send(scratch.bytes())) {
+      ++sent.frames;
+      sent.bytes += scratch.size();
+    }
+  }
+}
+
+session::EndpointConfig receiver_config(std::size_t blocks,
+                                        std::size_t block_bytes) {
+  session::EndpointConfig cfg;
+  cfg.k = blocks;
+  cfg.payload_bytes = block_bytes;
+  // The sender streams rateless frames without a per-packet handshake;
+  // the session closes with the completion kAck (re-announced on tick so
+  // a lost ack cannot wedge the sender).
+  cfg.feedback = session::FeedbackMode::kNone;
+  cfg.announce_completion = true;
+  cfg.response_timeout = 1;
+  cfg.max_retries = 7;  // 8 announcements in total
+  return cfg;
+}
+
+session::EndpointConfig sender_config(std::size_t blocks,
+                                      std::size_t block_bytes) {
+  session::EndpointConfig cfg;
+  cfg.k = blocks;
+  cfg.payload_bytes = block_bytes;
+  cfg.feedback = session::FeedbackMode::kNone;
+  return cfg;
+}
+
+void print_receiver_summary(const session::Endpoint& endpoint,
+                            std::size_t blocks, std::size_t block_bytes) {
+  const session::SessionStats& s = endpoint.stats();
+  std::cout << "receiver: decoded and verified " << blocks << " blocks ("
+            << blocks * block_bytes << " content bytes) from "
+            << s.frames_received << " frames / " << s.bytes_received
+            << " wire bytes — overhead "
+            << (static_cast<double>(s.bytes_received) /
+                    static_cast<double>(blocks * block_bytes) -
+                1.0) *
+                   100.0
+            << " %\n";
+}
+
+/// Feeds frames from `transport` into the endpoint until its decoder
+/// completes (or the spin budget runs out), then verifies every block and
+/// acks the sender.
 int run_udp_receiver(net::UdpTransport& transport, std::size_t blocks,
                      std::size_t block_bytes) {
-  lt::BpDecoder decoder(blocks, block_bytes);
+  session::Endpoint endpoint(
+      receiver_config(blocks, block_bytes),
+      std::make_unique<session::LtSinkProtocol>(blocks, block_bytes));
   wire::Frame frame;
-  CodedPacket packet;
-  UdpStats stats;
   std::uint64_t idle_spins = 0;
   // ~10s of polling with no traffic at all = give up.
   constexpr std::uint64_t kMaxIdleSpins = 200'000'000;
 
-  while (!decoder.complete()) {
+  while (!endpoint.complete()) {
     if (!transport.recv(frame)) {
       if (++idle_spins > kMaxIdleSpins) {
         std::cerr << "receiver: timed out waiting for frames\n";
@@ -57,187 +119,151 @@ int run_udp_receiver(net::UdpTransport& transport, std::size_t blocks,
       continue;
     }
     idle_spins = 0;
-    ++stats.frames;
-    stats.bytes += frame.size();
-    const wire::DecodeStatus status = wire::deserialize(frame.bytes(), packet);
-    if (status != wire::DecodeStatus::kOk) {
-      std::cerr << "receiver: dropped malformed frame ("
-                << wire::status_name(status) << ")\n";
-      continue;
-    }
-    // A structurally valid frame can still carry someone else's content
-    // dimensions (a sender launched with different args, or a stray
-    // datagram on the open port) — drop it instead of letting the
-    // decoder's width check terminate the listener.
-    if (packet.coeffs.size() != blocks ||
-        packet.payload.size_bytes() != block_bytes) {
-      std::cerr << "receiver: dropped frame with mismatched dimensions (k="
-                << packet.coeffs.size() << ", m="
-                << packet.payload.size_bytes() << ")\n";
-      continue;
-    }
-    decoder.receive(packet);
+    // The endpoint absorbs malformed and foreign frames itself (stray
+    // datagrams on an open port must never wedge the listener).
+    endpoint.handle_frame(0, frame.bytes());
   }
 
-  for (std::size_t i = 0; i < blocks; ++i) {
-    if (decoder.native_payload(i) !=
-        Payload::deterministic(block_bytes, kContentSeed, i)) {
-      std::cerr << "receiver: block " << i << " failed verification\n";
-      return 1;
-    }
+  if (!endpoint.protocol()->finish_and_verify(kContentSeed)) {
+    std::cerr << "receiver: content failed verification\n";
+    return 1;
   }
 
-  // Binary feedback over the same socket: tell the sender to stop.
+  // The endpoint queued its completion kAck at the delivering frame;
+  // tick() re-announces it, giving the burst that survives loss.
   if (transport.set_peer_to_last_sender()) {
-    wire::serialize_feedback(wire::MessageType::kAck, stats.frames, frame);
-    for (int burst = 0; burst < 8; ++burst) transport.send(frame.bytes());
+    UdpTally acks;
+    for (session::Instant now = 1; now <= 8; ++now) {
+      flush(endpoint, transport, frame, acks);
+      endpoint.tick(now);
+    }
   }
 
-  std::cout << "receiver: decoded and verified " << blocks << " blocks ("
-            << blocks * block_bytes << " content bytes) from " << stats.frames
-            << " frames / " << stats.bytes << " wire bytes — overhead "
-            << (static_cast<double>(stats.bytes) /
-                    static_cast<double>(blocks * block_bytes) -
-                1.0) *
-                   100.0
-            << " %\n";
+  print_receiver_summary(endpoint, blocks, block_bytes);
   return 0;
 }
 
-/// Streams encoded frames at the peer until its ack arrives.
+/// Streams encoded frames at the peer until its completion ack arrives.
 int run_udp_sender(net::UdpTransport& transport, std::size_t blocks,
                    std::size_t block_bytes) {
   lt::LtEncoder encoder(
       lt::make_native_payloads(blocks, block_bytes, kContentSeed));
+  session::Endpoint endpoint(sender_config(blocks, block_bytes), nullptr);
   Rng rng(1);
   wire::Frame frame;
   wire::Frame feedback;
-  UdpStats stats;
   // Worst-case budget: BP needs a small multiple of k packets; loopback
   // drops under bursty sends add some more.
   const std::uint64_t max_frames = 400 * blocks + 100000;
 
-  while (stats.frames < max_frames) {
-    const CodedPacket packet = encoder.encode(rng);
-    wire::serialize(packet, frame);
-    transport.send(frame.bytes());
-    ++stats.frames;
-    stats.bytes += frame.size();
+  UdpTally sent;
+  while (!endpoint.peer_completed() && sent.frames < max_frames) {
+    endpoint.offer_packet(0, encoder.encode(rng));
+    flush(endpoint, transport, frame, sent);
 
     // Poll the feedback channel between sends; pace bursts so a loopback
     // receiver in the same process can keep up.
-    if (stats.frames % 16 == 0 && transport.recv(feedback)) {
-      wire::MessageType type{};
-      std::uint64_t token = 0;
-      if (wire::deserialize_feedback(feedback.bytes(), type, token) ==
-              wire::DecodeStatus::kOk &&
-          type == wire::MessageType::kAck) {
-        std::cout << "sender: receiver acked after " << token
-                  << " received frames; sent " << stats.frames << " frames / "
-                  << stats.bytes << " wire bytes\n";
-        return 0;
-      }
+    if (sent.frames % 16 == 0 && transport.recv(feedback)) {
+      endpoint.handle_frame(0, feedback.bytes());
     }
   }
-  std::cerr << "sender: no ack after " << stats.frames << " frames\n";
-  return 1;
+  if (!endpoint.peer_completed()) {
+    std::cerr << "sender: no ack after " << sent.frames << " frames\n";
+    return 1;
+  }
+  std::cout << "sender: receiver acked after "
+            << endpoint.peer_completion_token() << " received frames; sent "
+            << sent.frames << " frames / " << sent.bytes << " wire bytes\n";
+  return 0;
 }
 
-/// Sender and receiver in one process over loopback — frame pacing is
-/// explicit (send a small burst, drain the receiver) so kernel socket
-/// buffers never overflow unrealistically.
+/// Sender and receiver endpoints in one process over loopback — frame
+/// pacing is explicit (send a small burst, drain the receiver) so kernel
+/// socket buffers never overflow unrealistically.
 int run_udp_loopback(std::size_t blocks, std::size_t block_bytes) {
   std::string error;
   net::UdpConfig rx_cfg;
   rx_cfg.bind_address = "127.0.0.1";
-  auto receiver = net::UdpTransport::open(rx_cfg, &error);
-  if (receiver == nullptr) {
+  auto rx_transport = net::UdpTransport::open(rx_cfg, &error);
+  if (rx_transport == nullptr) {
     std::cerr << "loopback: cannot open receiver socket: " << error << "\n";
     return 1;
   }
   net::UdpConfig tx_cfg;
   tx_cfg.bind_address = "127.0.0.1";
   tx_cfg.peer_address = "127.0.0.1";
-  tx_cfg.peer_port = receiver->local_port();
-  auto sender = net::UdpTransport::open(tx_cfg, &error);
-  if (sender == nullptr) {
+  tx_cfg.peer_port = rx_transport->local_port();
+  auto tx_transport = net::UdpTransport::open(tx_cfg, &error);
+  if (tx_transport == nullptr) {
     std::cerr << "loopback: cannot open sender socket: " << error << "\n";
     return 1;
   }
   std::cout << "loopback: streaming " << blocks << " blocks of "
             << block_bytes << " bytes over 127.0.0.1:"
-            << receiver->local_port() << "\n";
+            << rx_transport->local_port() << "\n";
 
   lt::LtEncoder encoder(
       lt::make_native_payloads(blocks, block_bytes, kContentSeed));
-  lt::BpDecoder decoder(blocks, block_bytes);
+  session::Endpoint sender(sender_config(blocks, block_bytes), nullptr);
+  session::Endpoint receiver(
+      receiver_config(blocks, block_bytes),
+      std::make_unique<session::LtSinkProtocol>(blocks, block_bytes));
   Rng rng(1);
   wire::Frame tx_frame;
   wire::Frame rx_frame;
-  CodedPacket packet;
-  UdpStats sent, received;
+  UdpTally sent;
   const std::uint64_t max_frames = 400 * blocks + 100000;
 
-  while (!decoder.complete() && sent.frames < max_frames) {
-    for (int burst = 0; burst < 8 && !decoder.complete(); ++burst) {
-      wire::serialize(encoder.encode(rng), tx_frame);
-      if (!sender->send(tx_frame.bytes())) continue;
-      ++sent.frames;
-      sent.bytes += tx_frame.size();
+  while (!receiver.complete() && sent.frames < max_frames) {
+    for (int burst = 0; burst < 8 && !receiver.complete(); ++burst) {
+      sender.offer_packet(0, encoder.encode(rng));
+      flush(sender, *tx_transport, tx_frame, sent);
     }
-    while (receiver->recv(rx_frame)) {
-      ++received.frames;
-      received.bytes += rx_frame.size();
-      if (wire::deserialize(rx_frame.bytes(), packet) ==
-              wire::DecodeStatus::kOk &&
-          packet.coeffs.size() == blocks &&
-          packet.payload.size_bytes() == block_bytes) {
-        decoder.receive(packet);
-      }
+    while (rx_transport->recv(rx_frame)) {
+      receiver.handle_frame(0, rx_frame.bytes());
     }
   }
 
-  if (!decoder.complete()) {
+  if (!receiver.complete()) {
     std::cerr << "loopback: decoder incomplete after " << sent.frames
               << " frames\n";
     return 1;
   }
-  for (std::size_t i = 0; i < blocks; ++i) {
-    if (decoder.native_payload(i) !=
-        Payload::deterministic(block_bytes, kContentSeed, i)) {
-      std::cerr << "loopback: block " << i << " failed verification\n";
-      return 1;
+  if (!receiver.protocol()->finish_and_verify(kContentSeed)) {
+    std::cerr << "loopback: content failed verification\n";
+    return 1;
+  }
+
+  // Close the loop the way a real deployment would: the receiver's
+  // completion kAck crosses the socket back to the sender endpoint.
+  rx_transport->set_peer_to_last_sender();
+  UdpTally acks;
+  for (session::Instant now = 1; now <= 8 && !sender.peer_completed();
+       ++now) {
+    flush(receiver, *rx_transport, rx_frame, acks);
+    receiver.tick(now);
+    while (tx_transport->recv(tx_frame)) {
+      sender.handle_frame(0, tx_frame.bytes());
     }
   }
 
-  // Close the loop the way a real deployment would: ack over the socket.
-  receiver->set_peer_to_last_sender();
-  wire::serialize_feedback(wire::MessageType::kAck, received.frames,
-                           tx_frame);
-  receiver->send(tx_frame.bytes());
-  wire::MessageType type{};
-  std::uint64_t token = 0;
-  bool acked = false;
-  for (int spin = 0; spin < 100000 && !acked; ++spin) {
-    acked = sender->recv(rx_frame) &&
-            wire::deserialize_feedback(rx_frame.bytes(), type, token) ==
-                wire::DecodeStatus::kOk &&
-            type == wire::MessageType::kAck;
-  }
-
+  const session::SessionStats& rs = receiver.stats();
   std::cout << "loopback: transferred and verified " << blocks * block_bytes
-            << " content bytes in " << received.frames << " frames ("
-            << received.bytes << " wire bytes, overhead "
-            << (static_cast<double>(received.bytes) /
+            << " content bytes in " << rs.data_delivered << " frames ("
+            << rs.bytes_received << " wire bytes, overhead "
+            << (static_cast<double>(rs.bytes_received) /
                     static_cast<double>(blocks * block_bytes) -
                 1.0) *
                    100.0
-            << " %), ack " << (acked ? "received" : "NOT received") << "\n";
-  return acked ? 0 : 1;
+            << " %), ack "
+            << (sender.peer_completed() ? "received" : "NOT received")
+            << "\n";
+  return sender.peer_completed() ? 0 : 1;
 }
 
-int run_swarm_comparison(std::size_t peers, std::size_t blocks) {
-  using dissem::Scheme;
+int run_swarm_comparison(std::size_t peers, std::size_t blocks,
+                         std::string_view scheme_arg) {
+  using session::Scheme;
 
   dissem::SimConfig cfg;
   cfg.num_nodes = peers;
@@ -246,18 +272,30 @@ int run_swarm_comparison(std::size_t peers, std::size_t blocks) {
   cfg.seed = 7;
   cfg.max_rounds = 200 * blocks;
 
+  std::vector<Scheme> schemes;
+  if (scheme_arg.empty() || scheme_arg == "all") {
+    schemes = {Scheme::kWc, Scheme::kLtnc, Scheme::kRlnc};
+  } else {
+    Scheme one{};
+    if (!session::scheme_from_string(scheme_arg, one)) {
+      std::cerr << "unknown scheme '" << scheme_arg
+                << "' (expected ltnc|rlnc|wc|all)\n";
+      return 2;
+    }
+    schemes = {one};
+  }
+
   std::cout << "Distributing a file of " << blocks << " blocks to " << peers
             << " peers (push gossip, binary feedback channel)\n\n";
 
   TextTable table({"scheme", "all peers done (rounds)", "overhead %",
                    "wire MB (measured)", "decode ctrl ops/peer",
                    "verified"});
-  for (const Scheme scheme :
-       {Scheme::kWc, Scheme::kLtnc, Scheme::kRlnc}) {
+  for (const Scheme scheme : schemes) {
     const dissem::SimResult res = dissem::run_simulation(scheme, cfg);
     const double n = static_cast<double>(peers);
     table.add_row(
-        {dissem::scheme_name(scheme),
+        {session::scheme_name(scheme),
          res.all_complete ? TextTable::integer(
                                 static_cast<long long>(res.rounds_run))
                           : "did not finish",
@@ -331,5 +369,6 @@ int main(int argc, char** argv) {
   }
 
   return run_swarm_comparison(arg_or(argc, argv, 1, 100),
-                              arg_or(argc, argv, 2, 256));
+                              arg_or(argc, argv, 2, 256),
+                              argc > 3 ? argv[3] : "");
 }

@@ -20,10 +20,12 @@ int main() {
   constexpr std::size_t k = 64;   // number of native packets
   constexpr std::size_t m = 256;  // bytes per packet
   constexpr std::uint64_t content_seed = 2026;
-  std::vector<Payload> natives = lt::make_native_payloads(k, m, content_seed);
+  const std::vector<Payload> natives =
+      lt::make_native_payloads(k, m, content_seed);
 
-  // --- 2. The source is a plain LT encoder ------------------------------
-  lt::LtEncoder source(lt::make_native_payloads(k, m, content_seed));
+  // --- 2. The source is a plain LT encoder (fed a copy; `natives` stays
+  //        around as the ground truth for step 4) -----------------------
+  lt::LtEncoder source(natives);
   Rng rng(1);
 
   // --- 3. A relay recodes with LTNC, a sink decodes with BP -------------

@@ -1,0 +1,140 @@
+// Session-layer demo: the sans-I/O Endpoint driven over deliberately
+// hostile SimChannels — loss, duplication and reordering injected on
+// every link — with binary feedback and tick-driven retransmission.
+//
+//     source ──▶ alice ◀──▶ bob        (every arrow: a lossy SimChannel)
+//
+// A protocol-less source endpoint offers LT-encoded packets to alice;
+// alice and bob run full LTNC protocols and gossip recoded packets at
+// each other. The application loop below is everything a transport glue
+// has to do: move frames between poll_transmit() and handle_frame(),
+// and call tick(now). The handshake, the vetoes, the retransmissions and
+// the duplicate suppression all live inside the endpoints — the exact
+// same code the epidemic simulator and the UDP file transfer run.
+//
+// Build & run:  ./build/examples/session_demo [k] [payload] [loss]
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/table.hpp"
+#include "lt/lt_encoder.hpp"
+#include "net/sim_channel.hpp"
+#include "session/endpoint.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ltnc;
+
+  const std::size_t k = argc > 1 ? std::atoi(argv[1]) : 64;
+  const std::size_t payload = argc > 2 ? std::atoi(argv[2]) : 256;
+  const double loss = argc > 3 ? std::atof(argv[3]) : 0.2;
+  constexpr std::uint64_t kContentSeed = 77;
+
+  session::EndpointConfig cfg;
+  cfg.k = k;
+  cfg.payload_bytes = payload;
+  cfg.feedback = session::FeedbackMode::kBinary;
+  cfg.response_timeout = 4;  // ticks before an advertise retransmits
+  cfg.max_retries = 3;
+
+  session::ProtocolParams params;
+  params.k = k;
+  params.payload_bytes = payload;
+
+  // Endpoint ids double as peer ids: 0 = alice, 1 = bob, 2 = source.
+  std::vector<std::unique_ptr<session::Endpoint>> endpoints;
+  endpoints.push_back(std::make_unique<session::Endpoint>(
+      cfg, session::make_node(session::Scheme::kLtnc, params)));
+  endpoints.push_back(std::make_unique<session::Endpoint>(
+      cfg, session::make_node(session::Scheme::kLtnc, params)));
+  endpoints.push_back(std::make_unique<session::Endpoint>(cfg, nullptr));
+
+  lt::LtEncoder source(lt::make_native_payloads(k, payload, kContentSeed));
+  Rng rng(1);
+
+  // One hostile unidirectional channel per directed pair.
+  net::SimChannelConfig ch;
+  ch.loss_rate = loss;
+  ch.duplicate_rate = 0.1;
+  ch.reorder_rate = 0.2;
+  std::vector<std::vector<std::unique_ptr<net::SimChannel>>> links(3);
+  for (std::size_t from = 0; from < 3; ++from) {
+    for (std::size_t to = 0; to < 3; ++to) {
+      ch.seed = 100 + from * 3 + to;
+      links[from].push_back(std::make_unique<net::SimChannel>(ch));
+    }
+  }
+
+  wire::Frame frame;
+  session::Instant now = 0;
+  const session::Instant deadline = 40000;
+
+  auto pump = [&] {
+    // poll_transmit → channel → handle_frame, for every endpoint pair.
+    for (std::size_t from = 0; from < 3; ++from) {
+      session::PeerId to = 0;
+      while (endpoints[from]->poll_transmit(to, frame)) {
+        links[from][to]->send(frame.bytes());
+      }
+    }
+    for (std::size_t from = 0; from < 3; ++from) {
+      for (std::size_t to = 0; to < 3; ++to) {
+        while (links[from][to]->recv(frame)) {
+          endpoints[to]->handle_frame(static_cast<session::PeerId>(from),
+                                      frame.bytes());
+        }
+      }
+    }
+  };
+
+  while ((!endpoints[0]->complete() || !endpoints[1]->complete()) &&
+         now < deadline) {
+    ++now;
+    // Offer slower than the retransmit timer (a fresh offer supersedes
+    // the in-flight one), so lost advertises get their timer-driven
+    // second chance instead of being papered over by the next offer.
+    if (now % (cfg.response_timeout + 2) == 1) {
+      // The source seeds alice; alice and bob gossip at each other.
+      endpoints[2]->offer_packet(0, source.encode(rng));
+      if (endpoints[0]->can_push()) endpoints[0]->start_transfer(1, rng);
+      if (endpoints[1]->can_push()) endpoints[1]->start_transfer(0, rng);
+    }
+    pump();
+    for (auto& ep : endpoints) ep->tick(now);
+    pump();  // deliver what the tick retransmitted
+  }
+
+  const bool done = endpoints[0]->complete() && endpoints[1]->complete();
+  const bool verified =
+      done && endpoints[0]->protocol()->finish_and_verify(kContentSeed) &&
+      endpoints[1]->protocol()->finish_and_verify(kContentSeed);
+
+  std::cout << "k=" << k << " payload=" << payload << "B loss=" << loss
+            << " dup=0.1 reorder=0.2 — "
+            << (done ? "both endpoints complete" : "DID NOT COMPLETE")
+            << " after " << now << " ticks, content "
+            << (verified ? "verified byte-exact" : "NOT verified") << "\n\n";
+
+  TextTable table({"endpoint", "offers", "adv sent", "adv rtx", "vetoes rx",
+                   "data rx", "dup suppressed", "timeouts", "wire bytes"});
+  const char* names[] = {"alice", "bob", "source"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const session::SessionStats& s = endpoints[i]->stats();
+    table.add_row(
+        {names[i],
+         TextTable::integer(static_cast<long long>(s.offers)),
+         TextTable::integer(static_cast<long long>(s.advertises_sent)),
+         TextTable::integer(static_cast<long long>(s.advertise_retransmits)),
+         TextTable::integer(static_cast<long long>(s.aborts_received)),
+         TextTable::integer(static_cast<long long>(s.data_delivered)),
+         TextTable::integer(static_cast<long long>(s.duplicates_suppressed)),
+         TextTable::integer(static_cast<long long>(s.timeouts)),
+         TextTable::integer(
+             static_cast<long long>(s.bytes_sent + s.bytes_received))});
+  }
+  table.print(std::cout);
+  std::cout << "\nEvery frame above crossed a lossy channel; the endpoints'"
+               " retransmit timers and duplicate suppression did the rest.\n";
+  return done && verified ? 0 : 1;
+}

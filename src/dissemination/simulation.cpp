@@ -9,6 +9,8 @@
 
 namespace ltnc::dissem {
 
+using session::Endpoint;
+
 double SimResult::mean_completion() const {
   double sum = 0.0;
   std::size_t n = 0;
@@ -45,17 +47,37 @@ ProtocolParams EpidemicSimulation::protocol_params() const {
   return params;
 }
 
+session::EndpointConfig EpidemicSimulation::endpoint_config() const {
+  session::EndpointConfig ec;
+  ec.k = cfg_.k;
+  ec.payload_bytes = cfg_.payload_bytes;
+  ec.feedback = cfg_.feedback;
+  // The harness shuttles every conversation to completion synchronously
+  // and never calls tick(), so the endpoint timers are idle here — the
+  // paper's setting assumes a reliable feedback exchange.
+  return ec;
+}
+
+std::unique_ptr<Endpoint> EpidemicSimulation::make_endpoint() {
+  return std::make_unique<Endpoint>(endpoint_config(),
+                                    make_node(scheme_, protocol_params()));
+}
+
 EpidemicSimulation::EpidemicSimulation(Scheme scheme, const SimConfig& config)
-    : scheme_(scheme), cfg_(config), rng_(config.seed) {
+    : scheme_(scheme),
+      cfg_(config),
+      rng_(config.seed),
+      bus_(net::SimChannelConfig{}) {  // fault-free FIFO; faults are ours
   LTNC_CHECK_MSG(config.num_nodes >= 2, "need at least two nodes");
   LTNC_CHECK_MSG(config.k >= 1, "k must be positive");
 
   source_ = make_source(scheme, cfg_.k, cfg_.payload_bytes, cfg_.content_seed,
                         cfg_.ltnc.soliton);
+  source_endpoint_ = std::make_unique<Endpoint>(endpoint_config(), nullptr);
 
-  nodes_.reserve(cfg_.num_nodes);
+  endpoints_.reserve(cfg_.num_nodes);
   for (std::size_t n = 0; n < cfg_.num_nodes; ++n) {
-    nodes_.push_back(make_node(scheme, protocol_params()));
+    endpoints_.push_back(make_endpoint());
   }
   sampler_ = net::make_sampler(cfg_.sampler, cfg_.num_nodes, rng_);
 
@@ -66,95 +88,125 @@ EpidemicSimulation::EpidemicSimulation(Scheme scheme, const SimConfig& config)
   payload_receptions_.assign(cfg_.num_nodes, 0);
 }
 
-bool EpidemicSimulation::attempt_transfer(const CodedPacket& packet,
-                                          NodeId target) {
-  NodeProtocol& receiver = *nodes_[target];
+void EpidemicSimulation::route_frame(Endpoint& from, NodeId expected_dst) {
+  session::PeerId dst = 0;
+  LTNC_CHECK_MSG(from.poll_transmit(dst, frame_),
+                 "conversation expected an outbound frame");
+  LTNC_CHECK_MSG(dst == expected_dst, "frame addressed to the wrong peer");
+  LTNC_CHECK_MSG(bus_.send(frame_.bytes()),
+                 "simulation bus refused a frame (over the MTU?)");
+  LTNC_CHECK_MSG(bus_.recv(frame_), "simulation bus lost a frame");
+}
+
+bool EpidemicSimulation::run_transfer(Endpoint& sender, NodeId sender_peer,
+                                      NodeId target) {
+  Endpoint& receiver = *endpoints_[target];
   ++traffic_.attempts;
   const std::uint64_t seq = transfer_seq_++;
-  // The header (everything ahead of the payload span — framing,
-  // dimensions, adaptive code vector) travels first and is always paid
-  // for. serialized_size() is the codec's own exact arithmetic, so the
-  // charge is the measured frame size without paying the payload memcpy
-  // for attempts that abort or get lost before the payload moves.
-  const std::size_t payload_span = packet.payload.size_bytes();
-  traffic_.header_bytes += wire::serialized_size(packet) - payload_span;
-  if (cfg_.feedback != FeedbackMode::kNone &&
-      receiver.would_reject(packet.coeffs)) {
-    // The veto crosses the feedback channel as a measured abort frame
-    // (silence means proceed, so accepted transfers cost nothing here).
-    wire::serialize_feedback(wire::MessageType::kAbort, seq, feedback_frame_);
-    traffic_.control_bytes += feedback_frame_.size();
-    ++traffic_.aborted;
-    return false;
+
+  if (cfg_.feedback == FeedbackMode::kNone) {
+    // No handshake: one data frame, whose header span is always paid and
+    // whose payload span pays only if it survives the lossy hop.
+    route_frame(sender, target);
+    traffic_.header_bytes += frame_.size() - cfg_.payload_bytes;
+    if (cfg_.loss_rate > 0.0 && rng_.chance(cfg_.loss_rate)) {
+      ++traffic_.lost;
+      return false;
+    }
+  } else {
+    // The advertise travels first and is always paid for; it is
+    // byte-identical to the data frame minus the payload span.
+    route_frame(sender, target);
+    traffic_.header_bytes += frame_.size();
+    // The receiver's veto (or go-ahead) answers under the harness's
+    // global transfer sequence, so feedback frames carry the same tokens
+    // (and sizes) the pre-session simulator emitted.
+    receiver.set_feedback_token(seq);
+    const Endpoint::Event verdict =
+        receiver.handle_frame(sender_peer, frame_.bytes());
+    if (verdict == Endpoint::Event::kAborted) {
+      route_frame(receiver, sender_peer);
+      traffic_.control_bytes += frame_.size();
+      ++traffic_.aborted;
+      const Endpoint::Event closed =
+          sender.handle_frame(target, frame_.bytes());
+      LTNC_CHECK_MSG(closed == Endpoint::Event::kAbortReceived,
+                     "abort did not close the transfer");
+      return false;
+    }
+    LTNC_CHECK_MSG(verdict == Endpoint::Event::kProceeding,
+                   "advertise expected abort or proceed");
+    // The go-ahead crosses the bus but charges nothing: it models the
+    // "silence means proceed" of the paper's reliable feedback channel.
+    route_frame(receiver, sender_peer);
+    const Endpoint::Event go = sender.handle_frame(target, frame_.bytes());
+    LTNC_CHECK_MSG(go == Endpoint::Event::kProceedReceived,
+                   "proceed did not release the payload");
+    route_frame(sender, target);  // the data frame
+    if (cfg_.loss_rate > 0.0 && rng_.chance(cfg_.loss_rate)) {
+      ++traffic_.lost;
+      return false;
+    }
   }
-  if (cfg_.loss_rate > 0.0 && rng_.chance(cfg_.loss_rate)) {
-    ++traffic_.lost;
-    return false;
-  }
-  traffic_.payload_bytes += payload_span;
+
+  traffic_.payload_bytes += cfg_.payload_bytes;
   ++traffic_.payload_transfers;
   ++payload_receptions_[target];
-  // Deliver what came off the wire, not the sender's object: frame the
-  // packet through the codec and hand the reconstructed packet to the
-  // receiver.
-  wire::serialize(packet, frame_);
-  const wire::DecodeStatus status =
-      wire::deserialize(frame_.bytes(), rx_packet_);
-  LTNC_CHECK_MSG(status == wire::DecodeStatus::kOk,
+  const Endpoint::Event delivered =
+      receiver.handle_frame(sender_peer, frame_.bytes());
+  LTNC_CHECK_MSG(delivered == Endpoint::Event::kDelivered,
                  "wire round-trip failed in simulation");
-  receiver.deliver(rx_packet_);
   after_transfer(target);
-
-  // Wireless broadcast medium: bystanders snoop the transfer for free and
-  // keep it when it is innovative for them (COPE-style, §III-C.2).
-  for (std::size_t o = 0; o < cfg_.overhear_count; ++o) {
-    const auto bystander =
-        static_cast<NodeId>(rng_.uniform(cfg_.num_nodes));
-    if (bystander == target) continue;
-    NodeProtocol& listener = *nodes_[bystander];
-    if (listener.would_reject(rx_packet_.coeffs)) continue;
-    ++overheard_useful_;
-    ++payload_receptions_[bystander];
-    listener.deliver(rx_packet_);
-    after_transfer(bystander);
-  }
+  deliver_overhears(target);
   return true;
 }
 
 void EpidemicSimulation::after_transfer(NodeId target) {
   if (completion_round_[target] > cfg_.max_rounds &&
-      nodes_[target]->complete()) {
+      endpoints_[target]->complete()) {
     completion_round_[target] = round_;
     ++complete_count_;
   }
 }
 
+void EpidemicSimulation::deliver_overhears(NodeId target) {
+  // Wireless broadcast medium: bystanders snoop the data frame for free
+  // and keep it when it is innovative for them (COPE-style, §III-C.2).
+  if (cfg_.overhear_count == 0) return;
+  LTNC_CHECK_MSG(
+      wire::deserialize(frame_.bytes(), rx_packet_) == wire::DecodeStatus::kOk,
+      "overhear deserialize failed");
+  for (std::size_t o = 0; o < cfg_.overhear_count; ++o) {
+    const auto bystander =
+        static_cast<NodeId>(rng_.uniform(cfg_.num_nodes));
+    if (bystander == target) continue;
+    if (endpoints_[bystander]->overhear(rx_packet_)) {
+      ++overheard_useful_;
+      ++payload_receptions_[bystander];
+      after_transfer(bystander);
+    }
+  }
+}
+
 void EpidemicSimulation::node_push(NodeId sender) {
-  NodeProtocol& node = *nodes_[sender];
-  if (!node.can_emit()) return;
+  Endpoint& ep = *endpoints_[sender];
+  if (!ep.can_push()) return;
 
   const NodeId target = sampler_->sample(rng_, sender);
-  std::optional<CodedPacket> packet;
   if (cfg_.feedback == FeedbackMode::kSmart) {
     // Full feedback channel: the receiver ships its cc array first, as a
-    // measured kCcArray frame the sender decodes before constructing.
-    const auto* receiver_cc = nodes_[target]->component_leaders();
-    if (receiver_cc != nullptr) {
-      wire::serialize_cc(*receiver_cc, feedback_frame_);
-      traffic_.feedback_bytes += feedback_frame_.size();
-      const wire::DecodeStatus status =
-          wire::deserialize_cc(feedback_frame_.bytes(), cc_scratch_);
-      LTNC_CHECK_MSG(status == wire::DecodeStatus::kOk,
+    // measured kCcArray frame the sender caches before constructing.
+    Endpoint& receiver = *endpoints_[target];
+    if (receiver.announce_cc(sender)) {
+      route_frame(receiver, sender);
+      traffic_.feedback_bytes += frame_.size();
+      const Endpoint::Event cached = ep.handle_frame(target, frame_.bytes());
+      LTNC_CHECK_MSG(cached == Endpoint::Event::kCcReceived,
                      "cc-array round-trip failed in simulation");
-      packet = node.emit_for(cc_scratch_, rng_);
-    } else {
-      packet = node.emit(rng_);
     }
-  } else {
-    packet = node.emit(rng_);
   }
-  if (!packet.has_value()) return;
-  attempt_transfer(*packet, target);
+  if (!ep.start_transfer(target, rng_)) return;
+  run_transfer(ep, sender, target);
 }
 
 void EpidemicSimulation::churn_one_node() {
@@ -166,7 +218,7 @@ void EpidemicSimulation::churn_one_node() {
     completion_round_[victim] = cfg_.max_rounds + 1;
   }
   payload_receptions_[victim] = 0;
-  nodes_[victim] = make_node(scheme_, protocol_params());
+  endpoints_[victim] = make_endpoint();
   ++churned_count_;
 }
 
@@ -177,11 +229,13 @@ void EpidemicSimulation::step() {
     churn_one_node();
   }
 
-  // Source injection.
+  // Source injection: the source endpoint offers externally encoded
+  // packets and runs the same handshake every node runs.
   for (std::size_t i = 0; i < cfg_.source_pushes_per_round; ++i) {
     const auto target = static_cast<NodeId>(rng_.uniform(cfg_.num_nodes));
     const CodedPacket packet = source_->next(rng_);
-    attempt_transfer(packet, target);
+    source_endpoint_->offer_packet(target, packet);
+    run_transfer(*source_endpoint_, source_peer_id(), target);
   }
 
   // Node pushes, in a fresh random order each period.
@@ -194,7 +248,7 @@ void EpidemicSimulation::step() {
   }
 
   convergence_trace_.push_back(static_cast<double>(complete_count_) /
-                               static_cast<double>(nodes_.size()));
+                               static_cast<double>(endpoints_.size()));
 }
 
 SimResult EpidemicSimulation::run() {
@@ -219,7 +273,8 @@ SimResult EpidemicSimulation::finalise() {
   result.traffic = traffic_;
   result.overheard_useful = overheard_useful_;
 
-  for (const auto& node : nodes_) {
+  for (const auto& endpoint : endpoints_) {
+    NodeProtocol* node = endpoint->protocol();
     if (cfg_.verify_payloads && node->complete()) {
       // RLNC pays its back-substitution here, so decode costs include it.
       result.payloads_verified &=
@@ -227,11 +282,13 @@ SimResult EpidemicSimulation::finalise() {
     }
     result.decode_ops += node->decode_ops();
     result.recode_ops += node->recode_ops();
+    result.sessions += endpoint->stats();
   }
 
   if (scheme_ == Scheme::kLtnc) {
-    for (const auto& node : nodes_) {
-      const auto& proto = static_cast<const LtncProtocol&>(*node);
+    for (const auto& endpoint : endpoints_) {
+      const auto& proto =
+          static_cast<const LtncProtocol&>(*endpoint->protocol());
       const auto& codec = proto.codec();
       const auto& s = codec.stats();
       result.ltnc_stats.receives += s.receives;
@@ -263,8 +320,9 @@ SimResult EpidemicSimulation::finalise() {
     // Occurrence balance is a system-wide property (the paper reports one
     // relative-σ number): aggregate the counts over all senders first.
     std::vector<std::uint64_t> total_occurrences(cfg_.k, 0);
-    for (const auto& node : nodes_) {
-      const auto& proto = static_cast<const LtncProtocol&>(*node);
+    for (const auto& endpoint : endpoints_) {
+      const auto& proto =
+          static_cast<const LtncProtocol&>(*endpoint->protocol());
       const auto& counts = proto.codec().occurrences().counts();
       for (std::size_t i = 0; i < cfg_.k; ++i) {
         total_occurrences[i] += counts[i];

@@ -1,12 +1,35 @@
-// Epidemic dissemination simulation (paper §IV-A).
+// Epidemic dissemination simulation (paper §IV-A) — a harness over the
+// sans-I/O session layer.
 //
 // A content of k native packets is pushed from one source to N nodes.
 // Time advances in gossip periods; each period the source injects a few
 // encoded packets to random nodes, then every node past its aggressiveness
 // threshold recodes one fresh packet and pushes it to a peer drawn from
-// the peer sampling service. Transfers advertise the code vector first; a
-// binary feedback channel lets the receiver abort non-innovative transfers
-// before the payload moves.
+// the peer sampling service.
+//
+// The protocol conversation itself — advertise the code vector, collect
+// abort/proceed (binary feedback) or a cc array (smart feedback), then
+// move the payload — lives in session::Endpoint; the simulation owns what
+// a distributed system cannot: global time, the peer sampler, fault
+// injection (loss, churn, overhearing) and the traffic ledger. Every
+// frame an endpoint emits crosses a SimChannel (serialize → transport →
+// deserialize), so byte counters are measured wire sizes and the protocol
+// state only ever sees what survived framing.
+//
+// Ledger conventions (unchanged from the pre-session implementation, so a
+// fixed seed reproduces the same TrafficStats byte for byte):
+//   header_bytes   the kAdvertise frame of every attempt — byte-identical
+//                  to the data frame minus its payload span. Charged even
+//                  in FeedbackMode::kNone, where the "advertise" is just
+//                  the header prefix of the single data frame.
+//   control_bytes  kAbort frames (binary feedback vetoes)
+//   payload_bytes  delivered payload spans; the accepted transfer's data
+//                  frame repeats the advertised header, which is not
+//                  re-charged (the paper's setting runs transfers over a
+//                  connection, where the header travels once)
+//   feedback_bytes kCcArray frames (smart feedback)
+//   kProceed       charged nothing: it models the "silence means proceed"
+//                  of a reliable feedback channel
 //
 // The simulation is deterministic for a given seed, and collects the exact
 // series the paper plots: the convergence trace (Fig. 7a), the completion
@@ -26,16 +49,12 @@
 #include "dissemination/protocols.hpp"
 #include "dissemination/sources.hpp"
 #include "net/peer_sampler.hpp"
+#include "net/sim_channel.hpp"
 #include "net/traffic.hpp"
+#include "session/endpoint.hpp"
 #include "wire/frame.hpp"
 
 namespace ltnc::dissem {
-
-enum class FeedbackMode {
-  kNone,    ///< push blindly; receiver discards junk after paying for it
-  kBinary,  ///< receiver aborts redundant transfers (paper's §IV setup)
-  kSmart,   ///< receiver ships its cc array; sender constructs for it
-};
 
 struct SimConfig {
   std::size_t num_nodes = 128;
@@ -95,6 +114,9 @@ struct SimResult {
   std::vector<std::uint64_t> payload_receptions;
 
   net::TrafficStats traffic;
+  /// Session-layer event counters summed over the node endpoints (the
+  /// source endpoint excluded) — advertises, vetoes, duplicates, ….
+  session::SessionStats sessions;
   std::uint64_t overheard_useful = 0;  ///< snooped packets kept by bystanders
   OpCounters decode_ops;  ///< summed over nodes
   OpCounters recode_ops;  ///< summed over nodes
@@ -127,35 +149,57 @@ class EpidemicSimulation {
 
   std::size_t round() const { return round_; }
   std::size_t nodes_complete() const { return complete_count_; }
-  bool all_complete() const { return complete_count_ == nodes_.size(); }
-  const NodeProtocol& node(NodeId id) const { return *nodes_[id]; }
+  bool all_complete() const { return complete_count_ == endpoints_.size(); }
+  const NodeProtocol& node(NodeId id) const {
+    return *endpoints_[id]->protocol();
+  }
+  const session::Endpoint& endpoint(NodeId id) const {
+    return *endpoints_[id];
+  }
 
  private:
-  /// Pushes `packet` to `target`; returns true if the payload transferred.
-  bool attempt_transfer(const CodedPacket& packet, NodeId target);
+  /// Runs one full transfer conversation from `sender` (addressed by the
+  /// receiver as `sender_peer`) toward `target`, shuttling every frame
+  /// across the SimChannel bus. Returns true if the payload was
+  /// delivered.
+  bool run_transfer(session::Endpoint& sender, NodeId sender_peer,
+                    NodeId target);
+  /// Pops the sender's next frame, sends it across the bus and receives
+  /// it back into frame_ (the codec round-trip every message pays).
+  void route_frame(session::Endpoint& from, NodeId expected_dst);
   void node_push(NodeId sender);
   void after_transfer(NodeId target);
+  void deliver_overhears(NodeId target);
   SimResult finalise();
+
+  /// The source's PeerId as the nodes see it: one past the last node, so
+  /// per-peer state stays dense.
+  NodeId source_peer_id() const { return static_cast<NodeId>(cfg_.num_nodes); }
 
   Scheme scheme_;
   SimConfig cfg_;
   Rng rng_;
   std::unique_ptr<Source> source_;
-  std::vector<std::unique_ptr<NodeProtocol>> nodes_;
+  /// The source's session endpoint: protocol-less, it offers the packets
+  /// `source_` encodes and runs the same handshake as everyone else.
+  std::unique_ptr<session::Endpoint> source_endpoint_;
+  std::vector<std::unique_ptr<session::Endpoint>> endpoints_;
   std::unique_ptr<net::PeerSampler> sampler_;
+  /// The frame bus: one fault-free SimChannel every frame of every
+  /// conversation crosses (FIFO, so the lockstep conversation pops what
+  /// it just pushed). Fault injection stays with the harness, which
+  /// owns the global RNG: the paper's loss model drops payload frames
+  /// after the (reliable) feedback exchange, not uniformly.
+  net::SimChannel bus_;
   std::vector<NodeId> schedule_;  ///< node visit order, reshuffled per round
 
   void churn_one_node();
   ProtocolParams protocol_params() const;
+  session::EndpointConfig endpoint_config() const;
+  std::unique_ptr<session::Endpoint> make_endpoint();
 
-  // Wire-format scratch: every transfer is serialized through the codec
-  // and decoded back before delivery, so byte counters are measured frame
-  // sizes and the protocol state only ever sees what survived framing.
-  // Reused across transfers (arena-backed) — no per-packet heap churn.
-  wire::Frame frame_;
-  wire::Frame feedback_frame_;
-  CodedPacket rx_packet_;
-  std::vector<std::uint32_t> cc_scratch_;
+  wire::Frame frame_;      ///< the frame currently crossing the bus
+  CodedPacket rx_packet_;  ///< overhear scratch (deserialized data frame)
   std::uint64_t transfer_seq_ = 0;
 
   std::size_t round_ = 0;

@@ -12,7 +12,9 @@
 //   rlnc/…, wc/…    the paper's two baselines
 //   wire/…          versioned binary wire codec + frame buffers
 //   net/…           peer sampling, traffic accounting, transports
-//   dissemination/… the epidemic simulator used by the evaluation
+//   session/…       scheme-agnostic NodeProtocol adapters + the sans-I/O
+//                   session Endpoint (the protocol state machine)
+//   dissemination/… the epidemic simulation harness over session/
 //   metrics/…       Monte-Carlo experiment harness
 #pragma once
 
@@ -41,6 +43,8 @@
 #include "net/transport.hpp"         // IWYU pragma: export
 #include "net/udp_transport.hpp"     // IWYU pragma: export
 #include "rlnc/rlnc_codec.hpp"       // IWYU pragma: export
+#include "session/endpoint.hpp"      // IWYU pragma: export
+#include "session/protocols.hpp"     // IWYU pragma: export
 #include "wc/wc_node.hpp"            // IWYU pragma: export
 #include "wire/codec.hpp"            // IWYU pragma: export
 #include "wire/frame.hpp"            // IWYU pragma: export

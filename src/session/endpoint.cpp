@@ -1,0 +1,356 @@
+#include "session/endpoint.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "wire/codec.hpp"
+
+namespace ltnc::session {
+
+Endpoint::Endpoint(const EndpointConfig& config,
+                   std::unique_ptr<NodeProtocol> protocol)
+    : cfg_(config), protocol_(std::move(protocol)) {
+  LTNC_CHECK_MSG(cfg_.k > 0, "endpoint needs content dimensions");
+  LTNC_CHECK_MSG(cfg_.payload_bytes > 0, "endpoint needs a payload size");
+}
+
+Endpoint::Peer& Endpoint::peer_state(PeerId peer) {
+  if (peer >= peers_.size()) peers_.resize(static_cast<std::size_t>(peer) + 1);
+  return peers_[peer];
+}
+
+void Endpoint::close_outbound(Outbound& out) {
+  out.state = Outbound::State::kIdle;
+  out.packet = CodedPacket();  // hand the limb leases back to the arena
+}
+
+// --- transmit queue --------------------------------------------------------
+
+wire::Frame& Endpoint::push_slot(PeerId peer) {
+  if (tx_size_ == tx_ring_.size()) {
+    // Cold path: unroll the ring so index order matches queue order, then
+    // double the slot count. Warm buffers in existing slots survive.
+    std::rotate(tx_ring_.begin(),
+                tx_ring_.begin() + static_cast<std::ptrdiff_t>(tx_head_),
+                tx_ring_.end());
+    tx_head_ = 0;
+    tx_ring_.resize(std::max<std::size_t>(4, tx_ring_.size() * 2));
+  }
+  TxSlot& slot = tx_ring_[(tx_head_ + tx_size_) % tx_ring_.size()];
+  ++tx_size_;
+  slot.peer = peer;
+  return slot.frame;
+}
+
+bool Endpoint::poll_transmit(PeerId& peer, wire::Frame& out) {
+  if (tx_size_ == 0) return false;
+  TxSlot& slot = tx_ring_[tx_head_];
+  peer = slot.peer;
+  // Swap rather than copy: the caller gets the queued frame, the drained
+  // slot banks the caller's warmed capacity for the next queue_* call.
+  std::swap(out, slot.frame);
+  tx_head_ = (tx_head_ + 1) % tx_ring_.size();
+  --tx_size_;
+  ++stats_.frames_sent;
+  stats_.bytes_sent += out.size();
+  return true;
+}
+
+void Endpoint::queue_advertise(PeerId peer, const Outbound& out) {
+  wire::serialize_advertise(out.packet.coeffs, out.packet.payload.size_bytes(),
+                            push_slot(peer));
+}
+
+void Endpoint::queue_data(PeerId peer, const CodedPacket& packet) {
+  wire::serialize(packet, push_slot(peer));
+}
+
+void Endpoint::queue_feedback(PeerId peer, wire::MessageType type,
+                              std::uint64_t token) {
+  wire::serialize_feedback(type, token, push_slot(peer));
+}
+
+void Endpoint::queue_cc(PeerId peer,
+                        const std::vector<std::uint32_t>& leaders) {
+  wire::serialize_cc(leaders, push_slot(peer));
+}
+
+// --- application surface ---------------------------------------------------
+
+bool Endpoint::start_transfer(PeerId peer, Rng& rng) {
+  if (protocol_ == nullptr) return false;
+  Peer& p = peer_state(peer);
+  std::optional<CodedPacket> packet;
+  if (cfg_.feedback == FeedbackMode::kSmart && p.cc_fresh) {
+    p.cc_fresh = false;  // one construction per shipped cc array
+    packet = protocol_->emit_for(p.cc, rng);
+  } else {
+    packet = protocol_->emit(rng);
+  }
+  if (!packet.has_value()) return false;
+  begin_offer(peer, *packet);
+  return true;
+}
+
+void Endpoint::offer_packet(PeerId peer, const CodedPacket& packet) {
+  begin_offer(peer, packet);
+}
+
+void Endpoint::begin_offer(PeerId peer, const CodedPacket& packet) {
+  ++stats_.offers;
+  if (cfg_.feedback == FeedbackMode::kNone) {
+    // No handshake: the payload goes out directly, fire and forget.
+    queue_data(peer, packet);
+    ++stats_.data_sent;
+    return;
+  }
+  Peer& p = peer_state(peer);
+  if (p.out.state == Outbound::State::kAwaitFeedback) {
+    ++stats_.transfers_abandoned;  // superseded by the fresher offer
+  }
+  p.out.packet = packet;
+  p.out.state = Outbound::State::kAwaitFeedback;
+  p.out.retries = 0;
+  p.out.deadline = now_ + cfg_.response_timeout;
+  queue_advertise(peer, p.out);
+  ++stats_.advertises_sent;
+}
+
+bool Endpoint::announce_cc(PeerId peer) {
+  if (protocol_ == nullptr) return false;
+  const std::vector<std::uint32_t>* leaders = protocol_->component_leaders();
+  if (leaders == nullptr) return false;
+  queue_cc(peer, *leaders);
+  ++stats_.cc_sent;
+  return true;
+}
+
+bool Endpoint::overhear(const CodedPacket& packet) {
+  if (protocol_ == nullptr || protocol_->would_reject(packet.coeffs)) {
+    return false;
+  }
+  protocol_->deliver(packet);
+  ++stats_.overheard;
+  return true;
+}
+
+void Endpoint::set_feedback_token(std::uint64_t token) {
+  pending_token_ = token;
+}
+
+std::uint64_t Endpoint::next_feedback_token() {
+  if (pending_token_.has_value()) {
+    const std::uint64_t token = *pending_token_;
+    pending_token_.reset();
+    return token;
+  }
+  return conversation_counter_++;
+}
+
+// --- frame intake ----------------------------------------------------------
+
+Endpoint::Event Endpoint::handle_frame(PeerId peer,
+                                       std::span<const std::uint8_t> bytes) {
+  ++stats_.frames_received;
+  stats_.bytes_received += bytes.size();
+  wire::MessageType type{};
+  if (wire::peek_type(bytes, type) != wire::DecodeStatus::kOk) {
+    ++stats_.malformed_frames;
+    return Event::kMalformed;
+  }
+  switch (type) {
+    case wire::MessageType::kAdvertise:
+      return on_advertise(peer, bytes);
+    case wire::MessageType::kCodedPacket:
+      return on_data(peer, bytes);
+    case wire::MessageType::kAbort:
+    case wire::MessageType::kAck:
+    case wire::MessageType::kProceed: {
+      std::uint64_t token = 0;
+      if (wire::deserialize_feedback(bytes, type, token) !=
+          wire::DecodeStatus::kOk) {
+        ++stats_.malformed_frames;
+        return Event::kMalformed;
+      }
+      return on_feedback(peer, type, token);
+    }
+    case wire::MessageType::kCcArray:
+      return on_cc(peer, bytes);
+    case wire::MessageType::kGenerationPacket:
+      break;  // sessions are single-content (ROADMAP: multi-content)
+  }
+  ++stats_.foreign_frames;
+  return Event::kNone;
+}
+
+Endpoint::Event Endpoint::on_advertise(PeerId peer,
+                                       std::span<const std::uint8_t> bytes) {
+  if (wire::deserialize_advertise(bytes, rx_coeffs_, rx_payload_bytes_) !=
+      wire::DecodeStatus::kOk) {
+    ++stats_.malformed_frames;
+    return Event::kMalformed;
+  }
+  if (rx_coeffs_.size() != cfg_.k || rx_payload_bytes_ != cfg_.payload_bytes) {
+    ++stats_.foreign_frames;
+    return Event::kNone;
+  }
+  ++stats_.advertises_received;
+  Peer& p = peer_state(peer);
+  if (p.in.awaiting_data && p.in.coeffs == rx_coeffs_) {
+    // Replay of an advertise we already answered (our proceed was lost,
+    // or the frame was duplicated in flight). Note it, then fall through
+    // to a full re-evaluation: the vector may have turned redundant since
+    // the first answer, and the veto must always reflect current state —
+    // the conversation is simply re-armed, never opened twice.
+    ++stats_.duplicates_suppressed;
+  }
+  // A protocol-less endpoint (pure seeder) can never consume a payload:
+  // vetoing up front beats inviting a data frame it would drop as
+  // foreign.
+  const bool reject = cfg_.feedback != FeedbackMode::kNone &&
+                      (protocol_ == nullptr ||
+                       protocol_->would_reject(rx_coeffs_));
+  const std::uint64_t token = next_feedback_token();
+  if (reject) {
+    p.in.awaiting_data = false;  // any stale conversation dies with the veto
+    queue_feedback(peer, wire::MessageType::kAbort, token);
+    ++stats_.aborts_sent;
+    return Event::kAborted;
+  }
+  // A fresh advertise supersedes whatever this peer had in flight.
+  p.in.coeffs = rx_coeffs_;
+  p.in.awaiting_data = true;
+  p.in.deadline = now_ + cfg_.response_timeout;
+  queue_feedback(peer, wire::MessageType::kProceed, token);
+  ++stats_.proceeds_sent;
+  return Event::kProceeding;
+}
+
+Endpoint::Event Endpoint::on_data(PeerId peer,
+                                  std::span<const std::uint8_t> bytes) {
+  if (wire::deserialize(bytes, rx_packet_) != wire::DecodeStatus::kOk) {
+    ++stats_.malformed_frames;
+    return Event::kMalformed;
+  }
+  if (rx_packet_.coeffs.size() != cfg_.k ||
+      rx_packet_.payload.size_bytes() != cfg_.payload_bytes ||
+      protocol_ == nullptr) {
+    ++stats_.foreign_frames;
+    return Event::kNone;
+  }
+  Peer& p = peer_state(peer);
+  if (p.in.awaiting_data && p.in.coeffs == rx_packet_.coeffs) {
+    p.in.awaiting_data = false;  // the conversation closes on delivery
+  } else if (cfg_.feedback != FeedbackMode::kNone) {
+    // Data with no matching advertise: a reordered or replayed frame.
+    // Deliver anyway — the protocol's own redundancy detection is the
+    // authority on usefulness, and rateless payloads are always safe.
+    ++stats_.unsolicited_data;
+  }
+  protocol_->deliver(rx_packet_);
+  ++stats_.data_delivered;
+  maybe_announce_completion(peer);
+  return Event::kDelivered;
+}
+
+Endpoint::Event Endpoint::on_feedback(PeerId peer, wire::MessageType type,
+                                      std::uint64_t token) {
+  Peer& p = peer_state(peer);
+  switch (type) {
+    case wire::MessageType::kAbort:
+      if (p.out.state != Outbound::State::kAwaitFeedback) {
+        ++stats_.duplicates_suppressed;  // stale veto of a closed transfer
+        return Event::kNone;
+      }
+      close_outbound(p.out);
+      ++stats_.aborts_received;
+      return Event::kAbortReceived;
+    case wire::MessageType::kProceed:
+      if (p.out.state != Outbound::State::kAwaitFeedback) {
+        ++stats_.duplicates_suppressed;  // duplicate go-ahead: data already
+        return Event::kNone;             // went out exactly once
+      }
+      ++stats_.proceeds_received;
+      queue_data(peer, p.out.packet);
+      ++stats_.data_sent;
+      close_outbound(p.out);
+      return Event::kProceedReceived;
+    case wire::MessageType::kAck:
+      ++stats_.completions_received;
+      if (peer_completed_) {
+        ++stats_.duplicates_suppressed;
+        return Event::kNone;
+      }
+      peer_completed_ = true;
+      completion_token_ = token;
+      return Event::kAckReceived;
+    default:
+      break;
+  }
+  ++stats_.foreign_frames;
+  return Event::kNone;
+}
+
+Endpoint::Event Endpoint::on_cc(PeerId peer,
+                                std::span<const std::uint8_t> bytes) {
+  Peer& p = peer_state(peer);
+  if (wire::deserialize_cc(bytes, p.cc) != wire::DecodeStatus::kOk) {
+    ++stats_.malformed_frames;
+    return Event::kMalformed;
+  }
+  if (p.cc.size() != cfg_.k) {
+    p.cc_fresh = false;
+    ++stats_.foreign_frames;
+    return Event::kNone;
+  }
+  p.cc_fresh = true;
+  ++stats_.cc_received;
+  return Event::kCcReceived;
+}
+
+// --- timers ----------------------------------------------------------------
+
+void Endpoint::maybe_announce_completion(PeerId data_peer) {
+  if (!cfg_.announce_completion || completion_queued_ || !complete()) return;
+  completion_queued_ = true;
+  completion_peer_ = data_peer;
+  completion_announcements_ = 1;
+  completion_deadline_ = now_ + cfg_.response_timeout;
+  queue_feedback(completion_peer_, wire::MessageType::kAck,
+                 stats_.data_delivered);
+  ++stats_.completions_sent;
+}
+
+void Endpoint::tick(Instant now) {
+  now_ = now;
+  for (PeerId peer = 0; peer < peers_.size(); ++peer) {
+    Peer& p = peers_[peer];
+    if (p.out.state == Outbound::State::kAwaitFeedback &&
+        now >= p.out.deadline) {
+      if (p.out.retries < cfg_.max_retries) {
+        ++p.out.retries;
+        p.out.deadline = now + cfg_.response_timeout;
+        queue_advertise(peer, p.out);
+        ++stats_.advertise_retransmits;
+      } else {
+        close_outbound(p.out);
+        ++stats_.transfers_abandoned;
+      }
+    }
+    if (p.in.awaiting_data && now >= p.in.deadline) {
+      p.in.awaiting_data = false;  // the payload never came
+      ++stats_.timeouts;
+    }
+  }
+  if (completion_queued_ && completion_announcements_ <= cfg_.max_retries &&
+      now >= completion_deadline_) {
+    ++completion_announcements_;
+    completion_deadline_ = now + cfg_.response_timeout;
+    queue_feedback(completion_peer_, wire::MessageType::kAck,
+                   stats_.data_delivered);
+    ++stats_.completions_sent;
+  }
+}
+
+}  // namespace ltnc::session

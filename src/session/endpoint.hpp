@@ -1,0 +1,325 @@
+// Endpoint — the sans-I/O session layer (quiche/h2-style).
+//
+// One Endpoint owns one NodeProtocol (LTNC, RLNC, WC, an LT sink — or
+// none, for a pure fountain sender) and runs the paper's transfer
+// conversation (§III-C) as a per-peer state machine, with **no sockets, no
+// clocks and no allocation at steady state**:
+//
+//      application           Endpoint                transport
+//   start_transfer() ──▶ ┌──────────────┐
+//   offer_packet()       │  per-peer    │ ──▶ poll_transmit() ──▶ send()
+//   announce_cc()        │  handshake   │
+//   tick(now)        ──▶ │  state       │ ◀── handle_frame() ◀── recv()
+//                        └──────────────┘
+//
+// The conversation per transfer, sender S → receiver R:
+//
+//   S  kAdvertise (code vector + dims; byte-identical to the data frame
+//      minus its payload) ──▶ R
+//   R  kAbort  (veto: the vector is useless to R)            ──▶ S  done
+//   R  kProceed (go ahead)                                   ──▶ S
+//   S  kCodedPacket (the payload transfer)                   ──▶ R  done
+//
+// FeedbackMode::kNone skips the handshake (data is pushed directly);
+// kSmart additionally lets R ship its cc array (announce_cc → kCcArray),
+// which S caches and consumes on its next start_transfer via emit_for().
+// A completed protocol can announce itself with a kAck carrying the
+// delivered-frame count (announce_completion), which the paper's file
+// sender uses as its stop signal.
+//
+// Reliability is the application's loop plus two timers: an advertise
+// awaiting feedback retransmits on tick() until max_retries, and replayed
+// frames are suppressed (a re-advertise of the vector we already answered
+// re-sends the answer; a duplicate kProceed never double-sends data; data
+// frames the protocol has already absorbed reduce to duplicates inside the
+// protocol itself — rateless codes make payload retransmission pointless,
+// so lost data simply costs the gossip loop one more exchange).
+//
+// Everything in and out is an arena-leased wire::Frame; poll_transmit
+// recycles the caller's buffer into the queue slot it drains, so the
+// handle_frame → poll_transmit loop never touches the global heap once
+// warm (tests/steady_state_alloc_test.cpp holds this to zero).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "common/coded_packet.hpp"
+#include "common/rng.hpp"
+#include "session/protocols.hpp"
+#include "wire/codec.hpp"
+#include "wire/frame.hpp"
+
+namespace ltnc::session {
+
+/// Opaque peer handle. The transport glue owns the mapping to real
+/// addresses (a socket peer, a simulator NodeId, a channel index).
+using PeerId = std::uint32_t;
+
+/// Abstract session time. tick() only compares and adds Instants, so the
+/// unit is the application's choice (gossip rounds, poll iterations,
+/// milliseconds) — there is no clock anywhere in the session layer.
+using Instant = std::uint64_t;
+
+struct EndpointConfig {
+  /// Expected content dimensions; frames advertising any other k/m are
+  /// dropped as foreign traffic (a stray datagram on an open port must
+  /// never poison the protocol).
+  std::size_t k = 0;
+  std::size_t payload_bytes = 0;
+  FeedbackMode feedback = FeedbackMode::kBinary;
+  /// Ticks an advertise waits for abort/proceed before retransmitting,
+  /// and an accepted advertise waits for its data before resetting.
+  Instant response_timeout = 8;
+  /// Advertise retransmissions before the transfer is abandoned. Also the
+  /// completion-announce retransmission budget.
+  std::uint32_t max_retries = 4;
+  /// Queue a kAck (token = data frames delivered) to the last data sender
+  /// when the protocol completes, and re-queue it on tick() while the
+  /// session stays alive — the stop signal of a file transfer.
+  bool announce_completion = false;
+};
+
+/// One struct unifying the counters that used to be scattered over the
+/// simulator, the UDP example loops and ad-hoc locals. Frame counts and
+/// byte totals are measured (every frame crosses the wire codec).
+struct SessionStats {
+  // -- conversations, sender side
+  std::uint64_t offers = 0;                 ///< transfers initiated locally
+  std::uint64_t advertises_sent = 0;        ///< first transmissions only
+  std::uint64_t advertise_retransmits = 0;  ///< timer-driven re-sends
+  std::uint64_t aborts_received = 0;        ///< transfers vetoed by the peer
+  std::uint64_t proceeds_received = 0;
+  std::uint64_t data_sent = 0;              ///< payload frames queued
+  std::uint64_t transfers_abandoned = 0;    ///< retries exhausted/superseded
+  // -- conversations, receiver side
+  std::uint64_t advertises_received = 0;
+  std::uint64_t aborts_sent = 0;
+  std::uint64_t proceeds_sent = 0;
+  std::uint64_t data_delivered = 0;         ///< handed to the protocol
+  std::uint64_t unsolicited_data = 0;       ///< no matching advertise
+  std::uint64_t overheard = 0;              ///< snooped packets kept
+  // -- smart feedback
+  std::uint64_t cc_sent = 0;
+  std::uint64_t cc_received = 0;
+  // -- completion announcements
+  std::uint64_t completions_sent = 0;       ///< includes re-announcements
+  std::uint64_t completions_received = 0;
+  // -- hygiene
+  std::uint64_t duplicates_suppressed = 0;  ///< replayed frames absorbed
+  std::uint64_t timeouts = 0;               ///< inbound conversations reset
+  std::uint64_t malformed_frames = 0;       ///< failed the hardened decode
+  std::uint64_t foreign_frames = 0;         ///< wrong k/m, or data at a
+                                            ///< protocol-less endpoint
+  // -- totals (frames_sent counts frames popped via poll_transmit; a
+  // transport may still refuse one, so socket-level tallies belong to
+  // the transport glue)
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+
+  /// Aggregation across a fleet of endpoints (the simulator's summary).
+  SessionStats& operator+=(const SessionStats& o) {
+    offers += o.offers;
+    advertises_sent += o.advertises_sent;
+    advertise_retransmits += o.advertise_retransmits;
+    aborts_received += o.aborts_received;
+    proceeds_received += o.proceeds_received;
+    data_sent += o.data_sent;
+    transfers_abandoned += o.transfers_abandoned;
+    advertises_received += o.advertises_received;
+    aborts_sent += o.aborts_sent;
+    proceeds_sent += o.proceeds_sent;
+    data_delivered += o.data_delivered;
+    unsolicited_data += o.unsolicited_data;
+    overheard += o.overheard;
+    cc_sent += o.cc_sent;
+    cc_received += o.cc_received;
+    completions_sent += o.completions_sent;
+    completions_received += o.completions_received;
+    duplicates_suppressed += o.duplicates_suppressed;
+    timeouts += o.timeouts;
+    malformed_frames += o.malformed_frames;
+    foreign_frames += o.foreign_frames;
+    frames_sent += o.frames_sent;
+    frames_received += o.frames_received;
+    bytes_sent += o.bytes_sent;
+    bytes_received += o.bytes_received;
+    return *this;
+  }
+};
+
+class Endpoint {
+ public:
+  /// What a consumed frame meant — returned by handle_frame so transport
+  /// glue (and the simulator's ledger) can react without peeking into the
+  /// endpoint's state.
+  enum class Event : std::uint8_t {
+    kNone,             ///< consumed silently (stale/duplicate/foreign)
+    kAborted,          ///< we vetoed an advertise (abort frame queued)
+    kProceeding,       ///< we accepted an advertise (proceed frame queued)
+    kDelivered,        ///< a payload reached our protocol
+    kAbortReceived,    ///< our transfer was vetoed; conversation closed
+    kProceedReceived,  ///< go-ahead received; data frame queued
+    kAckReceived,      ///< the peer announced completion
+    kCcReceived,       ///< the peer's cc array was cached
+    kMalformed,        ///< frame failed the hardened decode
+  };
+
+  /// `protocol` may be null: a protocol-less endpoint is a pure sender
+  /// (offer_packet) that still runs the handshake and understands
+  /// abort/proceed/ack — the shape of a fountain-code file seeder.
+  Endpoint(const EndpointConfig& config,
+           std::unique_ptr<NodeProtocol> protocol);
+
+  const EndpointConfig& config() const { return cfg_; }
+  NodeProtocol* protocol() { return protocol_.get(); }
+  const NodeProtocol* protocol() const { return protocol_.get(); }
+  const SessionStats& stats() const { return stats_; }
+
+  bool complete() const { return protocol_ != nullptr && protocol_->complete(); }
+  /// Aggressiveness gate (false for protocol-less and sink endpoints).
+  bool can_push() const {
+    return protocol_ != nullptr && protocol_->can_emit();
+  }
+
+  // --- application surface -------------------------------------------------
+
+  /// Starts a transfer toward `peer` with a packet emitted by the
+  /// protocol (emit_for when a fresh cc array from that peer is cached —
+  /// the cache is consumed either way). Returns false when the protocol
+  /// has nothing to say. Supersedes any transfer to `peer` still awaiting
+  /// feedback.
+  bool start_transfer(PeerId peer, Rng& rng);
+
+  /// Starts a transfer toward `peer` with an externally built packet (a
+  /// source encoder, a replayed store). Always succeeds.
+  void offer_packet(PeerId peer, const CodedPacket& packet);
+
+  /// Queues this node's cc array toward `peer` (smart feedback §III-C.2).
+  /// False when the protocol has none to ship.
+  bool announce_cc(PeerId peer);
+
+  /// Wireless snoop (§VI): consume a packet overheard off someone else's
+  /// transfer — no frames, no handshake. Returns true if the protocol
+  /// kept it.
+  bool overhear(const CodedPacket& packet);
+
+  /// True once a kAck arrived from any peer; token() is its payload
+  /// (the receiver's delivered-frame count).
+  bool peer_completed() const { return peer_completed_; }
+  std::uint64_t peer_completion_token() const { return completion_token_; }
+
+  /// Token stamped into the *next* abort/proceed answer instead of the
+  /// endpoint's own conversation counter. An orchestrator driving many
+  /// endpoints (the epidemic simulator) uses this to impose its global
+  /// transfer sequence so feedback frames are byte-identical to the
+  /// pre-session implementation; standalone endpoints number their own.
+  void set_feedback_token(std::uint64_t token);
+
+  // --- transport surface (sans-I/O) ----------------------------------------
+
+  /// Consumes one raw datagram from `peer`. Never throws on wire garbage:
+  /// malformed and foreign frames are counted and dropped.
+  Event handle_frame(PeerId peer, std::span<const std::uint8_t> bytes);
+
+  /// Pops the next outbound frame into `out` (recycling its capacity) and
+  /// its destination into `peer`. Returns false when nothing is pending.
+  bool poll_transmit(PeerId& peer, wire::Frame& out);
+
+  bool has_pending_transmit() const { return tx_size_ != 0; }
+  std::size_t pending_transmit() const { return tx_size_; }
+
+  /// Advances session time: retransmits advertises awaiting feedback,
+  /// abandons them past max_retries, resets inbound conversations whose
+  /// data never arrived, re-announces completion. `now` must not
+  /// decrease.
+  void tick(Instant now);
+
+ private:
+  struct Outbound {
+    enum class State : std::uint8_t { kIdle, kAwaitFeedback };
+    State state = State::kIdle;
+    CodedPacket packet;  ///< pending payload (storage reused across offers)
+    Instant deadline = 0;
+    std::uint32_t retries = 0;
+  };
+
+  struct Inbound {
+    BitVector coeffs;  ///< advertised vector we answered with a proceed
+    bool awaiting_data = false;
+    Instant deadline = 0;
+  };
+
+  struct Peer {
+    Outbound out;
+    Inbound in;
+    std::vector<std::uint32_t> cc;  ///< freshest cc array from this peer
+    bool cc_fresh = false;
+  };
+
+  Peer& peer_state(PeerId peer);
+  /// Closes an outgoing conversation and releases the pending packet's
+  /// arena lease — per-peer slots must not pin payload storage between
+  /// transfers (N peers × N endpoints would otherwise retain O(N²)
+  /// buffers in the simulator).
+  static void close_outbound(Outbound& out);
+  void begin_offer(PeerId peer, const CodedPacket& packet);
+  void queue_advertise(PeerId peer, const Outbound& out);
+  void queue_data(PeerId peer, const CodedPacket& packet);
+  void queue_feedback(PeerId peer, wire::MessageType type,
+                      std::uint64_t token);
+  void queue_cc(PeerId peer, const std::vector<std::uint32_t>& leaders);
+  /// Reserves the next transmit-ring slot (growing the ring cold-path
+  /// only) and returns its frame for the caller to fill.
+  wire::Frame& push_slot(PeerId peer);
+  std::uint64_t next_feedback_token();
+  void maybe_announce_completion(PeerId data_peer);
+
+  Event on_advertise(PeerId peer, std::span<const std::uint8_t> bytes);
+  Event on_data(PeerId peer, std::span<const std::uint8_t> bytes);
+  Event on_feedback(PeerId peer, wire::MessageType type, std::uint64_t token);
+  Event on_cc(PeerId peer, std::span<const std::uint8_t> bytes);
+
+  EndpointConfig cfg_;
+  std::unique_ptr<NodeProtocol> protocol_;
+  SessionStats stats_;
+
+  std::vector<Peer> peers_;  ///< dense per-peer state, grown on demand
+
+  // Transmit queue: a recycling ring of (destination, frame) slots, the
+  // SimChannel discipline — capacity circulates via poll_transmit's swap
+  // instead of every slot growing its own buffer.
+  struct TxSlot {
+    PeerId peer = 0;
+    wire::Frame frame;
+  };
+  std::vector<TxSlot> tx_ring_;
+  std::size_t tx_head_ = 0;
+  std::size_t tx_size_ = 0;
+
+  Instant now_ = 0;
+  std::uint64_t conversation_counter_ = 0;  ///< default feedback tokens
+  std::optional<std::uint64_t> pending_token_;  ///< set_feedback_token
+  bool peer_completed_ = false;
+  std::uint64_t completion_token_ = 0;
+
+  // Completion announcement state (receiver side of a file transfer).
+  bool completion_queued_ = false;
+  PeerId completion_peer_ = 0;
+  std::uint32_t completion_announcements_ = 0;
+  Instant completion_deadline_ = 0;
+
+  // Decode scratch, reused across frames (no steady-state leases).
+  CodedPacket rx_packet_;
+  BitVector rx_coeffs_;
+  std::size_t rx_payload_bytes_ = 0;
+};
+
+}  // namespace ltnc::session

@@ -1,11 +1,11 @@
-#include "dissemination/protocols.hpp"
+#include "session/protocols.hpp"
 
 #include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
 
-namespace ltnc::dissem {
+namespace ltnc::session {
 
 const char* scheme_name(Scheme scheme) {
   switch (scheme) {
@@ -17,6 +17,44 @@ const char* scheme_name(Scheme scheme) {
       return "WC";
   }
   return "?";
+}
+
+bool scheme_from_string(std::string_view name, Scheme& out) {
+  if (name == "ltnc" || name == "LTNC") {
+    out = Scheme::kLtnc;
+  } else if (name == "rlnc" || name == "RLNC") {
+    out = Scheme::kRlnc;
+  } else if (name == "wc" || name == "WC") {
+    out = Scheme::kWc;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* feedback_name(FeedbackMode mode) {
+  switch (mode) {
+    case FeedbackMode::kNone:
+      return "none";
+    case FeedbackMode::kBinary:
+      return "binary";
+    case FeedbackMode::kSmart:
+      return "smart";
+  }
+  return "?";
+}
+
+bool feedback_from_string(std::string_view name, FeedbackMode& out) {
+  if (name == "none") {
+    out = FeedbackMode::kNone;
+  } else if (name == "binary") {
+    out = FeedbackMode::kBinary;
+  } else if (name == "smart") {
+    out = FeedbackMode::kSmart;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 namespace {
@@ -153,6 +191,35 @@ bool WcProtocol::finish_and_verify(std::uint64_t content_seed) {
   return true;
 }
 
+// --- LT sink ----------------------------------------------------------------
+
+LtSinkProtocol::LtSinkProtocol(std::size_t k, std::size_t payload_bytes)
+    : decoder_(k, payload_bytes) {}
+
+void LtSinkProtocol::deliver(const CodedPacket& packet) {
+  decoder_.receive(packet);
+}
+
+bool LtSinkProtocol::would_reject(const BitVector& coeffs) const {
+  return decoder_.residual_degree(coeffs) == 0;
+}
+
+std::optional<CodedPacket> LtSinkProtocol::emit(Rng& rng) {
+  (void)rng;
+  return std::nullopt;  // a sink never pushes
+}
+
+bool LtSinkProtocol::finish_and_verify(std::uint64_t content_seed) {
+  if (!decoder_.complete()) return false;
+  for (std::size_t i = 0; i < decoder_.k(); ++i) {
+    if (decoder_.native_payload(static_cast<NativeIndex>(i)) !=
+        Payload::deterministic(decoder_.payload_bytes(), content_seed, i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 // --- factory ----------------------------------------------------------------
 
 std::unique_ptr<NodeProtocol> make_node(Scheme scheme,
@@ -170,4 +237,4 @@ std::unique_ptr<NodeProtocol> make_node(Scheme scheme,
   return nullptr;
 }
 
-}  // namespace ltnc::dissem
+}  // namespace ltnc::session

@@ -182,7 +182,7 @@ DecodeStatus read_header(Reader& r, MessageType& type, std::uint8_t& flags) {
   if (version != kProtocolVersion) return DecodeStatus::kBadVersion;
   WIRE_TRY(r.get_u8(raw_type));
   if (raw_type < static_cast<std::uint8_t>(MessageType::kCodedPacket) ||
-      raw_type > static_cast<std::uint8_t>(MessageType::kCcArray)) {
+      raw_type > static_cast<std::uint8_t>(MessageType::kProceed)) {
     return DecodeStatus::kBadType;
   }
   WIRE_TRY(r.get_u8(flags));
@@ -190,21 +190,37 @@ DecodeStatus read_header(Reader& r, MessageType& type, std::uint8_t& flags) {
   return DecodeStatus::kOk;
 }
 
+/// Size of the shared advertise prefix of a packet body: dimensions plus
+/// the code vector — everything ahead of the payload span. The advertise
+/// frame is exactly header + this prefix, which is what keeps the
+/// advertise/data size identity from ever drifting.
+std::size_t coeff_prefix_size(const BitVector& coeffs,
+                              std::size_t payload_bytes, CoeffEncoding enc) {
+  return varint_size(coeffs.size()) + varint_size(payload_bytes) +
+         coeff_encoded_size(coeffs, enc);
+}
+
+/// Writes the shared advertise prefix (the serializer twin of
+/// read_coeff_prefix below).
+void write_coeff_prefix(Writer& w, const BitVector& coeffs,
+                        std::size_t payload_bytes, CoeffEncoding enc) {
+  w.put_varint(coeffs.size());
+  w.put_varint(payload_bytes);
+  if (enc == CoeffEncoding::kDense) {
+    write_dense(w, coeffs);
+  } else {
+    write_sparse(w, coeffs);
+  }
+}
+
 std::size_t packet_body_size(const CodedPacket& packet, CoeffEncoding enc) {
-  return varint_size(packet.coeffs.size()) +
-         varint_size(packet.payload.size_bytes()) +
-         coeff_encoded_size(packet.coeffs, enc) + packet.payload.size_bytes();
+  return coeff_prefix_size(packet.coeffs, packet.payload.size_bytes(), enc) +
+         packet.payload.size_bytes();
 }
 
 void write_packet_body(Writer& w, const CodedPacket& packet,
                        CoeffEncoding enc) {
-  w.put_varint(packet.coeffs.size());
-  w.put_varint(packet.payload.size_bytes());
-  if (enc == CoeffEncoding::kDense) {
-    write_dense(w, packet.coeffs);
-  } else {
-    write_sparse(w, packet.coeffs);
-  }
+  write_coeff_prefix(w, packet.coeffs, packet.payload.size_bytes(), enc);
   const std::size_t m = packet.payload.size_bytes();
   if constexpr (std::endian::native == std::endian::little) {
     w.put_bytes(packet.payload.byte_view().data(), m);
@@ -213,29 +229,36 @@ void write_packet_body(Writer& w, const CodedPacket& packet,
   }
 }
 
-DecodeStatus read_packet_body(Reader& r, std::uint8_t flags,
-                              CodedPacket& packet) {
+/// Reads the shared advertise prefix of a packet body: dimensions and the
+/// code vector (everything ahead of the payload span).
+DecodeStatus read_coeff_prefix(Reader& r, std::uint8_t flags,
+                               BitVector& coeffs, std::uint64_t& m) {
   if ((flags & ~std::uint8_t{1}) != 0) {
     return DecodeStatus::kMalformed;  // reserved flag bits must be zero
   }
   const auto enc = static_cast<CoeffEncoding>(flags & 1);
   std::uint64_t k = 0;
-  std::uint64_t m = 0;
   WIRE_TRY(r.get_varint(k));
   WIRE_TRY(r.get_varint(m));
   if (k > kMaxCodeLength) return DecodeStatus::kMalformed;
   if (m > kMaxPayloadBytes) return DecodeStatus::kMalformed;
-  // The payload tail bounds the body: reject truncation before leasing
-  // packet storage for a frame that cannot possibly be complete.
-  if (r.remaining() < m) return DecodeStatus::kTruncated;
 
-  if (packet.coeffs.size() == static_cast<std::size_t>(k)) {
-    packet.coeffs.clear();  // reuse the lease on the steady-state path
+  if (coeffs.size() == static_cast<std::size_t>(k)) {
+    coeffs.clear();  // reuse the lease on the steady-state path
   } else {
-    packet.coeffs = BitVector(static_cast<std::size_t>(k));
+    coeffs = BitVector(static_cast<std::size_t>(k));
   }
-  WIRE_TRY(enc == CoeffEncoding::kDense ? read_dense(r, packet.coeffs)
-                                        : read_sparse(r, packet.coeffs));
+  return enc == CoeffEncoding::kDense ? read_dense(r, coeffs)
+                                      : read_sparse(r, coeffs);
+}
+
+DecodeStatus read_packet_body(Reader& r, std::uint8_t flags,
+                              CodedPacket& packet) {
+  std::uint64_t m = 0;
+  // The payload tail bounds the body, but the dimensions come first —
+  // read_coeff_prefix caps them before leasing storage, and the payload
+  // length is re-checked against the remaining frame right after.
+  WIRE_TRY(read_coeff_prefix(r, flags, packet.coeffs, m));
 
   if (r.remaining() < m) return DecodeStatus::kTruncated;
   if (packet.payload.size_bytes() != static_cast<std::size_t>(m)) {
@@ -319,6 +342,15 @@ std::size_t serialized_size_cc(std::span<const std::uint32_t> leaders) {
   return size;
 }
 
+std::size_t serialized_size_advertise(const BitVector& coeffs,
+                                      std::size_t payload_bytes) {
+  // serialized_size() minus the payload span, via the shared prefix
+  // arithmetic, so the advertise/packet size identity can never drift.
+  return header_size() +
+         coeff_prefix_size(coeffs, payload_bytes,
+                           choose_coeff_encoding(coeffs));
+}
+
 void serialize(const CodedPacket& packet, Frame& out) {
   const CoeffEncoding enc = choose_coeff_encoding(packet.coeffs);
   out.resize(header_size() + packet_body_size(packet, enc));
@@ -343,8 +375,9 @@ void serialize_generation(std::uint32_t generation, const CodedPacket& packet,
 }
 
 void serialize_feedback(MessageType type, std::uint64_t token, Frame& out) {
-  LTNC_CHECK_MSG(type == MessageType::kAbort || type == MessageType::kAck,
-                 "feedback frames are kAbort or kAck");
+  LTNC_CHECK_MSG(type == MessageType::kAbort || type == MessageType::kAck ||
+                     type == MessageType::kProceed,
+                 "feedback frames are kAbort, kAck or kProceed");
   out.resize(serialized_size_feedback(token));
   Writer w{out.data()};
   write_header(w, type, 0);
@@ -358,6 +391,16 @@ void serialize_cc(std::span<const std::uint32_t> leaders, Frame& out) {
   write_header(w, MessageType::kCcArray, 0);
   w.put_varint(leaders.size());
   for (const std::uint32_t leader : leaders) w.put_varint(leader);
+  LTNC_DCHECK(w.p == out.data() + out.size());
+}
+
+void serialize_advertise(const BitVector& coeffs, std::size_t payload_bytes,
+                         Frame& out) {
+  const CoeffEncoding enc = choose_coeff_encoding(coeffs);
+  out.resize(serialized_size_advertise(coeffs, payload_bytes));
+  Writer w{out.data()};
+  write_header(w, MessageType::kAdvertise, static_cast<std::uint8_t>(enc));
+  write_coeff_prefix(w, coeffs, payload_bytes, enc);
   LTNC_DCHECK(w.p == out.data() + out.size());
 }
 
@@ -401,12 +444,28 @@ DecodeStatus deserialize_feedback(std::span<const std::uint8_t> frame,
   Reader r{frame.data(), frame.data() + frame.size()};
   std::uint8_t flags = 0;
   WIRE_TRY(read_header(r, type, flags));
-  if (type != MessageType::kAbort && type != MessageType::kAck) {
+  if (type != MessageType::kAbort && type != MessageType::kAck &&
+      type != MessageType::kProceed) {
     return DecodeStatus::kBadType;
   }
   if (flags != 0) return DecodeStatus::kMalformed;
   WIRE_TRY(r.get_varint(token));
   return finish(r);
+}
+
+DecodeStatus deserialize_advertise(std::span<const std::uint8_t> frame,
+                                   BitVector& coeffs,
+                                   std::size_t& payload_bytes) {
+  Reader r{frame.data(), frame.data() + frame.size()};
+  MessageType type{};
+  std::uint8_t flags = 0;
+  WIRE_TRY(read_header(r, type, flags));
+  if (type != MessageType::kAdvertise) return DecodeStatus::kBadType;
+  std::uint64_t m = 0;
+  WIRE_TRY(read_coeff_prefix(r, flags, coeffs, m));
+  WIRE_TRY(finish(r));
+  payload_bytes = static_cast<std::size_t>(m);
+  return DecodeStatus::kOk;
 }
 
 DecodeStatus deserialize_cc(std::span<const std::uint8_t> frame,

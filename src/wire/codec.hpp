@@ -11,6 +11,16 @@
 //   kGenerationPacket  varint generation, then the kCodedPacket body
 //   kAbort / kAck      varint token (binary feedback channel, §III-C.2)
 //   kCcArray           varint n, n × varint leader (smart feedback)
+//   kAdvertise         varint k, varint m, code vector — a kCodedPacket
+//                      minus its payload, byte for byte: the header a
+//                      transfer ships ahead so the receiver can veto the
+//                      payload (§III-C). The size identity
+//                      serialized_size_advertise(p) ==
+//                      serialized_size(p) − p.payload.size_bytes() is
+//                      load-bearing for the simulator's traffic ledger.
+//   kProceed           varint token — the go-ahead answer to an advertise
+//                      (the explicit form of "silence means proceed" that
+//                      unreliable transports need)
 //
 // The code vector uses **adaptive encoding** — the serializer computes
 // both sizes and picks the smaller, recording the choice in flags bit 0:
@@ -58,6 +68,8 @@ enum class MessageType : std::uint8_t {
   kAbort = 3,  ///< binary feedback: receiver vetoes the advertised vector
   kAck = 4,    ///< binary feedback: receiver accepts / transfer complete
   kCcArray = 5,  ///< smart feedback: the receiver's component-leader array
+  kAdvertise = 6,  ///< code vector + dimensions, no payload (§III-C)
+  kProceed = 7,    ///< go-ahead answer to an advertise
 };
 
 enum class CoeffEncoding : std::uint8_t { kDense = 0, kSparse = 1 };
@@ -87,15 +99,22 @@ std::size_t serialized_size_generation(std::uint32_t generation,
                                        const CodedPacket& packet);
 std::size_t serialized_size_feedback(std::uint64_t token);
 std::size_t serialized_size_cc(std::span<const std::uint32_t> leaders);
+/// Always equals serialized_size({coeffs, payload}) − payload_bytes.
+std::size_t serialized_size_advertise(const BitVector& coeffs,
+                                      std::size_t payload_bytes);
 
 // -- serialization (overwrites `out`; word-span zero-copy fast paths) ------
 
 void serialize(const CodedPacket& packet, Frame& out);
 void serialize_generation(std::uint32_t generation, const CodedPacket& packet,
                           Frame& out);
-/// `type` must be kAbort or kAck.
+/// `type` must be kAbort, kAck or kProceed.
 void serialize_feedback(MessageType type, std::uint64_t token, Frame& out);
 void serialize_cc(std::span<const std::uint32_t> leaders, Frame& out);
+/// Serializes the advertise for a transfer of `payload_bytes` behind
+/// `coeffs` — the kCodedPacket frame with the payload span left out.
+void serialize_advertise(const BitVector& coeffs, std::size_t payload_bytes,
+                         Frame& out);
 
 // -- deserialization (hardened; never reads past `frame`) ------------------
 
@@ -108,10 +127,15 @@ DecodeStatus deserialize(std::span<const std::uint8_t> frame,
 DecodeStatus deserialize_generation(std::span<const std::uint8_t> frame,
                                     std::uint32_t& generation,
                                     CodedPacket& packet);
-/// Accepts kAbort or kAck; reports which via `type`.
+/// Accepts kAbort, kAck or kProceed; reports which via `type`.
 DecodeStatus deserialize_feedback(std::span<const std::uint8_t> frame,
                                   MessageType& type, std::uint64_t& token);
 DecodeStatus deserialize_cc(std::span<const std::uint8_t> frame,
                             std::vector<std::uint32_t>& leaders);
+/// kOk ⇒ `coeffs` holds the advertised vector (lease reused when the
+/// width matches) and `payload_bytes` the length of the payload to come.
+DecodeStatus deserialize_advertise(std::span<const std::uint8_t> frame,
+                                   BitVector& coeffs,
+                                   std::size_t& payload_bytes);
 
 }  // namespace ltnc::wire

@@ -17,6 +17,7 @@
 #include "lt/lt_encoder.hpp"
 #include "net/sim_channel.hpp"
 #include "rlnc/rlnc_codec.hpp"
+#include "session/endpoint.hpp"
 #include "wire/codec.hpp"
 #include "wire/frame.hpp"
 
@@ -224,6 +225,105 @@ TEST(SteadyStateAllocation, FeedbackAndCcFramesAreAllocationFree) {
   for (std::uint64_t i = 0; i < 2000; ++i) pump(i);
   EXPECT_EQ(g_allocations, before)
       << "feedback/cc wire frames allocated at steady state";
+}
+
+TEST(SteadyStateAllocation, EndpointHandshakeLoopIsAllocationFree) {
+  // The session layer's full conversation — offer → advertise →
+  // handle_frame → abort/proceed → data → handle_frame — through a
+  // SimChannel, endpoint to endpoint. Frames recycle through the transmit
+  // ring and the channel ring; per-peer state and packet scratch are
+  // reused; nothing may reach the global heap once warm.
+  const std::size_t k = 32;
+  const std::size_t m = 512;
+  session::EndpointConfig cfg;
+  cfg.k = k;
+  cfg.payload_bytes = m;
+  cfg.feedback = session::FeedbackMode::kBinary;
+  session::ProtocolParams params;
+  params.k = k;
+  params.payload_bytes = m;
+  // Two full-rank RLNC endpoints: every exchange runs the whole
+  // handshake and (for the accepted direction) a redundant delivery —
+  // the steady state of a saturated node.
+  session::Endpoint a(cfg, session::make_node(session::Scheme::kRlnc, params));
+  session::Endpoint b(cfg, session::make_node(session::Scheme::kRlnc, params));
+  for (std::size_t i = 0; i < k; ++i) {
+    const CodedPacket native = CodedPacket::native(
+        k, i, Payload::deterministic(m, 5, i));
+    a.protocol()->deliver(native);
+    b.protocol()->deliver(native);
+  }
+  net::SimChannel channel(net::SimChannelConfig{});
+  Rng rng(71);
+  wire::Frame frame;
+  session::PeerId dst = 0;
+  const auto pump = [&](session::Endpoint& from, session::Endpoint& to) {
+    // Shuttle every pending frame across the channel until the
+    // conversation quiesces (advertise → abort here: both are full rank,
+    // so every offer is vetoed — handshake plus veto, zero data).
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      while (from.poll_transmit(dst, frame)) {
+        ASSERT_TRUE(channel.send(frame.bytes()));
+        ASSERT_TRUE(channel.recv(frame));
+        to.handle_frame(0, frame.bytes());
+        moved = true;
+      }
+      while (to.poll_transmit(dst, frame)) {
+        ASSERT_TRUE(channel.send(frame.bytes()));
+        ASSERT_TRUE(channel.recv(frame));
+        from.handle_frame(0, frame.bytes());
+        moved = true;
+      }
+    }
+  };
+  const auto exchange = [&] {
+    if (a.start_transfer(0, rng)) pump(a, b);
+    if (b.start_transfer(0, rng)) pump(b, a);
+    g_sink = g_sink ^ a.stats().frames_sent ^ b.stats().aborts_sent;
+  };
+  for (int i = 0; i < 300; ++i) exchange();  // warm rings + scratch
+  const std::uint64_t before = g_allocations;
+  for (int i = 0; i < 2000; ++i) exchange();
+  EXPECT_EQ(g_allocations, before)
+      << "endpoint handshake loop allocated at steady state";
+}
+
+TEST(SteadyStateAllocation, EndpointDataPathIsAllocationFree) {
+  // Feedback-none data plane: offer_packet → poll_transmit → channel →
+  // handle_frame → protocol delivery, the loop a deployed UDP node runs
+  // per packet.
+  const std::size_t k = 64;
+  const std::size_t m = 1024;
+  session::EndpointConfig cfg;
+  cfg.k = k;
+  cfg.payload_bytes = m;
+  cfg.feedback = session::FeedbackMode::kNone;
+  session::ProtocolParams params;
+  params.k = k;
+  params.payload_bytes = m;
+  session::Endpoint sender(cfg, nullptr);
+  session::Endpoint receiver(
+      cfg, session::make_node(session::Scheme::kRlnc, params));
+  lt::LtEncoder enc(lt::make_native_payloads(k, m, 17));
+  net::SimChannel channel(net::SimChannelConfig{});
+  Rng rng(81);
+  wire::Frame frame;
+  session::PeerId dst = 0;
+  const auto pump = [&] {
+    sender.offer_packet(0, enc.encode(rng));
+    ASSERT_TRUE(sender.poll_transmit(dst, frame));
+    ASSERT_TRUE(channel.send(frame.bytes()));
+    ASSERT_TRUE(channel.recv(frame));
+    receiver.handle_frame(0, frame.bytes());
+    g_sink = g_sink ^ receiver.stats().data_delivered;
+  };
+  for (int i = 0; i < 500; ++i) pump();  // warm arena, rings and decoder
+  const std::uint64_t before = g_allocations;
+  for (int i = 0; i < 2000; ++i) pump();
+  EXPECT_EQ(g_allocations, before)
+      << "endpoint data path allocated at steady state";
 }
 
 TEST(SteadyStateAllocation, BpDuplicateReceiveIsAllocationFree) {

@@ -103,8 +103,50 @@ TEST(WireCodec, GenerationPacketRoundTrips) {
   }
 }
 
+TEST(WireCodec, AdvertiseRoundTrips) {
+  Rng rng(107);
+  for (int rep = 0; rep < 100; ++rep) {
+    const std::size_t k = 1 + rng.uniform(600);
+    const std::size_t m = rng.uniform(300);
+    const BitVector coeffs = random_coeffs(k, rng.uniform(k + 1), rng);
+    Frame frame;
+    serialize_advertise(coeffs, m, frame);
+    EXPECT_EQ(frame.size(), serialized_size_advertise(coeffs, m));
+
+    BitVector decoded;
+    std::size_t decoded_m = 0;
+    ASSERT_EQ(deserialize_advertise(frame.bytes(), decoded, decoded_m),
+              DecodeStatus::kOk);
+    EXPECT_EQ(decoded, coeffs);
+    EXPECT_EQ(decoded_m, m);
+
+    // The identity the session layer's traffic accounting rests on: an
+    // advertise is the coded-packet frame minus its payload span, byte
+    // for byte.
+    const CodedPacket packet(coeffs, Payload(m));
+    EXPECT_EQ(frame.size(), serialized_size(packet) - m);
+    Frame packet_frame;
+    serialize(packet, packet_frame);
+    // Same adaptive coeff encoding chosen, same prefix layout — only the
+    // type byte and the missing payload differ.
+    EXPECT_EQ(frame.bytes()[2], packet_frame.bytes()[2]);  // flags agree
+  }
+}
+
+TEST(WireCodec, AdvertiseRejectsTrailingBytes) {
+  Frame frame;
+  serialize_advertise(BitVector::unit(16, 3), 8, frame);
+  const std::uint8_t junk = 0;
+  frame.append(&junk, 1);
+  BitVector decoded;
+  std::size_t m = 0;
+  EXPECT_EQ(deserialize_advertise(frame.bytes(), decoded, m),
+            DecodeStatus::kTrailingBytes);
+}
+
 TEST(WireCodec, FeedbackRoundTrips) {
-  for (const MessageType type : {MessageType::kAbort, MessageType::kAck}) {
+  for (const MessageType type : {MessageType::kAbort, MessageType::kAck,
+                                 MessageType::kProceed}) {
     for (const std::uint64_t token :
          {std::uint64_t{0}, std::uint64_t{127}, std::uint64_t{128},
           std::uint64_t{1} << 40, ~std::uint64_t{0}}) {

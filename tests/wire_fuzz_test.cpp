@@ -52,12 +52,20 @@ bool decode_any(std::span<const std::uint8_t> frame) {
   std::vector<std::uint32_t> leaders;
   if (deserialize_cc(frame, leaders) == DecodeStatus::kOk) accepted = true;
 
+  BitVector advertised;
+  std::size_t payload_bytes = 0;
+  if (deserialize_advertise(frame, advertised, payload_bytes) ==
+      DecodeStatus::kOk) {
+    accepted = true;
+    EXPECT_EQ(advertised.popcount(), advertised.indices().size());
+  }
+
   return accepted;
 }
 
 /// One valid serialized frame of each message type, varied by `rng`.
 std::vector<Frame> sample_frames(Rng& rng) {
-  std::vector<Frame> frames(4);
+  std::vector<Frame> frames(6);
   const std::size_t k = 1 + rng.uniform(300);
   const std::size_t m = rng.uniform(100);
   const CodedPacket packet(random_coeffs(k, rng.uniform(k + 1), rng),
@@ -72,6 +80,8 @@ std::vector<Frame> sample_frames(Rng& rng) {
     leader = static_cast<std::uint32_t>(rng.uniform(k));
   }
   serialize_cc(leaders, frames[3]);
+  serialize_advertise(packet.coeffs, packet.payload.size_bytes(), frames[4]);
+  serialize_feedback(MessageType::kProceed, rng.next(), frames[5]);
   return frames;
 }
 
