@@ -123,6 +123,26 @@ BENCHMARK(BM_CodedPacketFrameSize)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
     ->Arg(96)->Arg(112)->Arg(120)->Arg(128)->Arg(192)->Arg(256)->Arg(512);
 
+// v2 content multiplexing: the id varint a multi-content frame carries.
+// Arg(0) is the content id; the counters record the exact wire cost over
+// the id-0 baseline. Acceptance (ROADMAP): ≤ 2 bytes on Soliton-typical
+// frames for every id derive_content_id can produce (14-bit fold).
+void BM_ContentIdOverhead(benchmark::State& state) {
+  const auto cid = static_cast<ltnc::ContentId>(state.range(0));
+  const CodedPacket packet = make_packet(8, 1 << 10, 23);  // degree 8, 1 KB
+  wire::Frame frame;
+  for (auto _ : state) {
+    wire::serialize(cid, packet, frame);
+    benchmark::DoNotOptimize(frame.data());
+  }
+  const std::size_t base = wire::serialized_size(packet);
+  state.counters["frame_bytes"] = static_cast<double>(frame.size());
+  state.counters["cid_overhead_bytes"] =
+      static_cast<double>(frame.size() - base);
+  state.counters["within_two_bytes"] = frame.size() - base <= 2 ? 1.0 : 0.0;
+}
+BENCHMARK(BM_ContentIdOverhead)->Arg(0)->Arg(1)->Arg(127)->Arg(0x3FFF);
+
 void BM_SerializeFeedback(benchmark::State& state) {
   wire::Frame frame;
   std::uint64_t token = 0;

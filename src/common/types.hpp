@@ -16,4 +16,11 @@ inline constexpr PacketId kInvalidPacket = static_cast<PacketId>(-1);
 /// Identifier of a node in the dissemination network.
 using NodeId = std::uint32_t;
 
+/// Identifier of a content (a k×m block set) multiplexed over one session
+/// endpoint. Travels as a varint on v2 wire frames; id 0 is the implicit
+/// default content of single-content sessions and costs zero wire bytes.
+/// Caller-assigned, or derived from the content's dimensions and seed via
+/// store::derive_content_id (which keeps ids ≤ 2 varint bytes).
+using ContentId = std::uint64_t;
+
 }  // namespace ltnc

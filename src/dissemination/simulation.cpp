@@ -59,8 +59,26 @@ session::EndpointConfig EpidemicSimulation::endpoint_config() const {
 }
 
 std::unique_ptr<Endpoint> EpidemicSimulation::make_endpoint() {
-  return std::make_unique<Endpoint>(endpoint_config(),
-                                    make_node(scheme_, protocol_params()));
+  if (cfg_.num_contents == 1) {
+    return std::make_unique<Endpoint>(endpoint_config(),
+                                      make_node(scheme_, protocol_params()));
+  }
+  // Multi-content mode: one protocol instance per content, multiplexed
+  // over a single endpoint via its ContentStore + SwarmScheduler.
+  auto contents = std::make_unique<store::ContentStore>();
+  for (std::size_t c = 0; c < cfg_.num_contents; ++c) {
+    store::ContentConfig cc;
+    cc.id = c;
+    cc.k = cfg_.k;
+    cc.payload_bytes = cfg_.payload_bytes;
+    cc.scheme = scheme_;
+    cc.aggressiveness = cfg_.aggressiveness;
+    cc.ltnc = cfg_.ltnc;
+    cc.rlnc = cfg_.rlnc;
+    cc.wc = cfg_.wc;
+    contents->register_content(cc);
+  }
+  return std::make_unique<Endpoint>(endpoint_config(), std::move(contents));
 }
 
 EpidemicSimulation::EpidemicSimulation(Scheme scheme, const SimConfig& config)
@@ -70,9 +88,16 @@ EpidemicSimulation::EpidemicSimulation(Scheme scheme, const SimConfig& config)
       bus_(net::SimChannelConfig{}) {  // fault-free FIFO; faults are ours
   LTNC_CHECK_MSG(config.num_nodes >= 2, "need at least two nodes");
   LTNC_CHECK_MSG(config.k >= 1, "k must be positive");
+  LTNC_CHECK_MSG(config.num_contents >= 1, "need at least one content");
+  LTNC_CHECK_MSG(config.num_contents <= config.num_nodes,
+                 "every content needs a non-empty source subset");
 
-  source_ = make_source(scheme, cfg_.k, cfg_.payload_bytes, cfg_.content_seed,
-                        cfg_.ltnc.soliton);
+  sources_.reserve(cfg_.num_contents);
+  for (std::size_t c = 0; c < cfg_.num_contents; ++c) {
+    sources_.push_back(make_source(scheme, cfg_.k, cfg_.payload_bytes,
+                                   cfg_.content_seed + c, cfg_.ltnc.soliton));
+  }
+  traffic_per_content_.resize(cfg_.num_contents);
   source_endpoint_ = std::make_unique<Endpoint>(endpoint_config(), nullptr);
 
   endpoints_.reserve(cfg_.num_nodes);
@@ -99,9 +124,11 @@ void EpidemicSimulation::route_frame(Endpoint& from, NodeId expected_dst) {
 }
 
 bool EpidemicSimulation::run_transfer(Endpoint& sender, NodeId sender_peer,
-                                      NodeId target) {
+                                      NodeId target, ContentId content) {
   Endpoint& receiver = *endpoints_[target];
+  net::TrafficStats& per_content = traffic_per_content_[content];
   ++traffic_.attempts;
+  ++per_content.attempts;
   const std::uint64_t seq = transfer_seq_++;
 
   if (cfg_.feedback == FeedbackMode::kNone) {
@@ -109,8 +136,10 @@ bool EpidemicSimulation::run_transfer(Endpoint& sender, NodeId sender_peer,
     // whose payload span pays only if it survives the lossy hop.
     route_frame(sender, target);
     traffic_.header_bytes += frame_.size() - cfg_.payload_bytes;
+    per_content.header_bytes += frame_.size() - cfg_.payload_bytes;
     if (cfg_.loss_rate > 0.0 && rng_.chance(cfg_.loss_rate)) {
       ++traffic_.lost;
+      ++per_content.lost;
       return false;
     }
   } else {
@@ -118,6 +147,7 @@ bool EpidemicSimulation::run_transfer(Endpoint& sender, NodeId sender_peer,
     // byte-identical to the data frame minus the payload span.
     route_frame(sender, target);
     traffic_.header_bytes += frame_.size();
+    per_content.header_bytes += frame_.size();
     // The receiver's veto (or go-ahead) answers under the harness's
     // global transfer sequence, so feedback frames carry the same tokens
     // (and sizes) the pre-session simulator emitted.
@@ -127,7 +157,9 @@ bool EpidemicSimulation::run_transfer(Endpoint& sender, NodeId sender_peer,
     if (verdict == Endpoint::Event::kAborted) {
       route_frame(receiver, sender_peer);
       traffic_.control_bytes += frame_.size();
+      per_content.control_bytes += frame_.size();
       ++traffic_.aborted;
+      ++per_content.aborted;
       const Endpoint::Event closed =
           sender.handle_frame(target, frame_.bytes());
       LTNC_CHECK_MSG(closed == Endpoint::Event::kAbortReceived,
@@ -145,12 +177,15 @@ bool EpidemicSimulation::run_transfer(Endpoint& sender, NodeId sender_peer,
     route_frame(sender, target);  // the data frame
     if (cfg_.loss_rate > 0.0 && rng_.chance(cfg_.loss_rate)) {
       ++traffic_.lost;
+      ++per_content.lost;
       return false;
     }
   }
 
   traffic_.payload_bytes += cfg_.payload_bytes;
+  per_content.payload_bytes += cfg_.payload_bytes;
   ++traffic_.payload_transfers;
+  ++per_content.payload_transfers;
   ++payload_receptions_[target];
   const Endpoint::Event delivered =
       receiver.handle_frame(sender_peer, frame_.bytes());
@@ -173,14 +208,15 @@ void EpidemicSimulation::deliver_overhears(NodeId target) {
   // Wireless broadcast medium: bystanders snoop the data frame for free
   // and keep it when it is innovative for them (COPE-style, §III-C.2).
   if (cfg_.overhear_count == 0) return;
-  LTNC_CHECK_MSG(
-      wire::deserialize(frame_.bytes(), rx_packet_) == wire::DecodeStatus::kOk,
-      "overhear deserialize failed");
+  ContentId content = 0;
+  LTNC_CHECK_MSG(wire::deserialize(frame_.bytes(), content, rx_packet_) ==
+                     wire::DecodeStatus::kOk,
+                 "overhear deserialize failed");
   for (std::size_t o = 0; o < cfg_.overhear_count; ++o) {
     const auto bystander =
         static_cast<NodeId>(rng_.uniform(cfg_.num_nodes));
     if (bystander == target) continue;
-    if (endpoints_[bystander]->overhear(rx_packet_)) {
+    if (endpoints_[bystander]->overhear(content, rx_packet_)) {
       ++overheard_useful_;
       ++payload_receptions_[bystander];
       after_transfer(bystander);
@@ -193,20 +229,28 @@ void EpidemicSimulation::node_push(NodeId sender) {
   if (!ep.can_push()) return;
 
   const NodeId target = sampler_->sample(rng_, sender);
+  // The scheduler picks which content this push slot carries —
+  // rarest-first over the node's store, which degenerates to "content 0"
+  // in single-content mode (no RNG is consumed either way, so the paper's
+  // single-content runs stay bit-for-bit reproducible).
+  const store::Content* content = ep.next_push(target);
+  if (content == nullptr) return;
+  const ContentId cid = content->id();
   if (cfg_.feedback == FeedbackMode::kSmart) {
     // Full feedback channel: the receiver ships its cc array first, as a
     // measured kCcArray frame the sender caches before constructing.
     Endpoint& receiver = *endpoints_[target];
-    if (receiver.announce_cc(sender)) {
+    if (receiver.announce_cc(sender, cid)) {
       route_frame(receiver, sender);
       traffic_.feedback_bytes += frame_.size();
+      traffic_per_content_[cid].feedback_bytes += frame_.size();
       const Endpoint::Event cached = ep.handle_frame(target, frame_.bytes());
       LTNC_CHECK_MSG(cached == Endpoint::Event::kCcReceived,
                      "cc-array round-trip failed in simulation");
     }
   }
-  if (!ep.start_transfer(target, rng_)) return;
-  run_transfer(ep, sender, target);
+  if (!ep.start_transfer(target, cid, rng_)) return;
+  run_transfer(ep, sender, target, cid);
 }
 
 void EpidemicSimulation::churn_one_node() {
@@ -230,12 +274,20 @@ void EpidemicSimulation::step() {
   }
 
   // Source injection: the source endpoint offers externally encoded
-  // packets and runs the same handshake every node runs.
-  for (std::size_t i = 0; i < cfg_.source_pushes_per_round; ++i) {
-    const auto target = static_cast<NodeId>(rng_.uniform(cfg_.num_nodes));
-    const CodedPacket packet = source_->next(rng_);
-    source_endpoint_->offer_packet(target, packet);
-    run_transfer(*source_endpoint_, source_peer_id(), target);
+  // packets and runs the same handshake every node runs. Content c's
+  // injections land only on its disjoint source subset {n : n % M == c};
+  // M = 1 reduces to the paper's single uniform source, same RNG draws.
+  const std::size_t m = cfg_.num_contents;
+  for (ContentId c = 0; c < m; ++c) {
+    const std::size_t subset_size =
+        (cfg_.num_nodes - static_cast<std::size_t>(c) + m - 1) / m;
+    for (std::size_t i = 0; i < cfg_.source_pushes_per_round; ++i) {
+      const auto target = static_cast<NodeId>(
+          static_cast<std::size_t>(c) + m * rng_.uniform(subset_size));
+      const CodedPacket packet = sources_[c]->next(rng_);
+      source_endpoint_->offer_packet(target, c, packet);
+      run_transfer(*source_endpoint_, source_peer_id(), target, c);
+    }
   }
 
   // Node pushes, in a fresh random order each period.
@@ -271,24 +323,33 @@ SimResult EpidemicSimulation::finalise() {
   result.convergence_trace = convergence_trace_;
   result.payload_receptions = payload_receptions_;
   result.traffic = traffic_;
+  result.per_content = traffic_per_content_;
   result.overheard_useful = overheard_useful_;
 
   for (const auto& endpoint : endpoints_) {
-    NodeProtocol* node = endpoint->protocol();
-    if (cfg_.verify_payloads && node->complete()) {
-      // RLNC pays its back-substitution here, so decode costs include it.
-      result.payloads_verified &=
-          node->finish_and_verify(cfg_.content_seed);
+    auto& contents = endpoint->contents();
+    for (std::size_t i = 0; i < contents.size(); ++i) {
+      store::Content& content = contents.at(i);
+      NodeProtocol* node = content.protocol();
+      if (node == nullptr) continue;
+      if (cfg_.verify_payloads && node->complete()) {
+        // RLNC pays its back-substitution here, so decode costs include
+        // it. Content c's ground truth is seeded with content_seed + c.
+        result.payloads_verified &=
+            node->finish_and_verify(cfg_.content_seed + content.id());
+      }
+      result.decode_ops += node->decode_ops();
+      result.recode_ops += node->recode_ops();
     }
-    result.decode_ops += node->decode_ops();
-    result.recode_ops += node->recode_ops();
     result.sessions += endpoint->stats();
   }
 
   if (scheme_ == Scheme::kLtnc) {
     for (const auto& endpoint : endpoints_) {
+      const auto& contents = endpoint->contents();
+      for (std::size_t ci = 0; ci < contents.size(); ++ci) {
       const auto& proto =
-          static_cast<const LtncProtocol&>(*endpoint->protocol());
+          static_cast<const LtncProtocol&>(*contents.at(ci).protocol());
       const auto& codec = proto.codec();
       const auto& s = codec.stats();
       result.ltnc_stats.receives += s.receives;
@@ -316,16 +377,21 @@ SimResult EpidemicSimulation::finalise() {
 
       result.ltnc_redundancy_checks += codec.redundancy().checks();
       result.ltnc_redundancy_hits += codec.redundancy().hits();
+      }
     }
     // Occurrence balance is a system-wide property (the paper reports one
-    // relative-σ number): aggregate the counts over all senders first.
+    // relative-σ number): aggregate the counts over all senders (and, in
+    // multi-content mode, all contents — the index space is per content).
     std::vector<std::uint64_t> total_occurrences(cfg_.k, 0);
     for (const auto& endpoint : endpoints_) {
-      const auto& proto =
-          static_cast<const LtncProtocol&>(*endpoint->protocol());
-      const auto& counts = proto.codec().occurrences().counts();
-      for (std::size_t i = 0; i < cfg_.k; ++i) {
-        total_occurrences[i] += counts[i];
+      const auto& contents = endpoint->contents();
+      for (std::size_t ci = 0; ci < contents.size(); ++ci) {
+        const auto& proto =
+            static_cast<const LtncProtocol&>(*contents.at(ci).protocol());
+        const auto& counts = proto.codec().occurrences().counts();
+        for (std::size_t i = 0; i < cfg_.k; ++i) {
+          total_occurrences[i] += counts[i];
+        }
       }
     }
     RunningStats occ;

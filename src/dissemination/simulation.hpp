@@ -63,6 +63,13 @@ struct SimConfig {
   std::uint64_t seed = 1;
   /// Deterministic content seed (native i = Payload::deterministic(seed)).
   std::uint64_t content_seed = 42;
+  /// Multi-content mode: M contents (wire ids 0..M−1, content c seeded
+  /// with content_seed + c) disseminate concurrently over the same
+  /// endpoints. Content c's source injections target the disjoint node
+  /// subset {n : n % M == c}; gossip then mixes every content across the
+  /// whole swarm via each endpoint's SwarmScheduler. 1 = the paper's
+  /// single-content protocol, bit-for-bit.
+  std::size_t num_contents = 1;
   /// Fraction of k a node must hold before recoding starts (LTNC ≈ 1 %).
   double aggressiveness = 0.01;
   /// Packets the source injects per gossip period.
@@ -114,6 +121,9 @@ struct SimResult {
   std::vector<std::uint64_t> payload_receptions;
 
   net::TrafficStats traffic;
+  /// Per-content ledger breakdown (index = content id). Size num_contents;
+  /// sums to `traffic` field-for-field.
+  std::vector<net::TrafficStats> per_content;
   /// Session-layer event counters summed over the node endpoints (the
   /// source endpoint excluded) — advertises, vetoes, duplicates, ….
   session::SessionStats sessions;
@@ -158,12 +168,12 @@ class EpidemicSimulation {
   }
 
  private:
-  /// Runs one full transfer conversation from `sender` (addressed by the
-  /// receiver as `sender_peer`) toward `target`, shuttling every frame
-  /// across the SimChannel bus. Returns true if the payload was
-  /// delivered.
+  /// Runs one full transfer conversation of `content` from `sender`
+  /// (addressed by the receiver as `sender_peer`) toward `target`,
+  /// shuttling every frame across the SimChannel bus. Returns true if the
+  /// payload was delivered.
   bool run_transfer(session::Endpoint& sender, NodeId sender_peer,
-                    NodeId target);
+                    NodeId target, ContentId content);
   /// Pops the sender's next frame, sends it across the bus and receives
   /// it back into frame_ (the codec round-trip every message pays).
   void route_frame(session::Endpoint& from, NodeId expected_dst);
@@ -179,9 +189,10 @@ class EpidemicSimulation {
   Scheme scheme_;
   SimConfig cfg_;
   Rng rng_;
-  std::unique_ptr<Source> source_;
+  /// One textbook encoder per content (index = content id).
+  std::vector<std::unique_ptr<Source>> sources_;
   /// The source's session endpoint: protocol-less, it offers the packets
-  /// `source_` encodes and runs the same handshake as everyone else.
+  /// the sources encode and runs the same handshake as everyone else.
   std::unique_ptr<session::Endpoint> source_endpoint_;
   std::vector<std::unique_ptr<session::Endpoint>> endpoints_;
   std::unique_ptr<net::PeerSampler> sampler_;
@@ -201,6 +212,7 @@ class EpidemicSimulation {
   wire::Frame frame_;      ///< the frame currently crossing the bus
   CodedPacket rx_packet_;  ///< overhear scratch (deserialized data frame)
   std::uint64_t transfer_seq_ = 0;
+  std::vector<net::TrafficStats> traffic_per_content_;
 
   std::size_t round_ = 0;
   std::size_t complete_count_ = 0;

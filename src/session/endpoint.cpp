@@ -8,16 +8,77 @@
 
 namespace ltnc::session {
 
+namespace {
+
+std::unique_ptr<store::ContentStore> single_content_store(
+    const EndpointConfig& config, std::unique_ptr<NodeProtocol> protocol) {
+  LTNC_CHECK_MSG(config.k > 0, "endpoint needs content dimensions");
+  LTNC_CHECK_MSG(config.payload_bytes > 0, "endpoint needs a payload size");
+  auto contents = std::make_unique<store::ContentStore>();
+  store::ContentConfig cc;
+  cc.id = 0;
+  cc.k = config.k;
+  cc.payload_bytes = config.payload_bytes;
+  contents->register_content(cc, std::move(protocol));
+  return contents;
+}
+
+}  // namespace
+
 Endpoint::Endpoint(const EndpointConfig& config,
                    std::unique_ptr<NodeProtocol> protocol)
-    : cfg_(config), protocol_(std::move(protocol)) {
-  LTNC_CHECK_MSG(cfg_.k > 0, "endpoint needs content dimensions");
-  LTNC_CHECK_MSG(cfg_.payload_bytes > 0, "endpoint needs a payload size");
+    : Endpoint(config, single_content_store(config, std::move(protocol))) {}
+
+Endpoint::Endpoint(const EndpointConfig& config,
+                   std::unique_ptr<store::ContentStore> contents)
+    : cfg_(config),
+      store_(std::move(contents)),
+      pace_tokens_(config.pace_burst) {
+  LTNC_CHECK_MSG(store_ != nullptr, "endpoint needs a content store");
+}
+
+NodeProtocol* Endpoint::protocol() {
+  store::Content* c = store_->find(0);
+  return c == nullptr ? nullptr : c->protocol();
+}
+
+const NodeProtocol* Endpoint::protocol() const {
+  return const_cast<Endpoint*>(this)->protocol();
+}
+
+bool Endpoint::can_push() const {
+  for (std::size_t i = 0; i < store_->size(); ++i) {
+    if (store_->at(i).can_emit()) return true;
+  }
+  return false;
 }
 
 Endpoint::Peer& Endpoint::peer_state(PeerId peer) {
   if (peer >= peers_.size()) peers_.resize(static_cast<std::size_t>(peer) + 1);
   return peers_[peer];
+}
+
+Endpoint::Convo& Endpoint::convo(PeerId peer, ContentId content) {
+  Peer& p = peer_state(peer);
+  for (Convo& cv : p.convos) {
+    if (cv.content == content) return cv;
+  }
+  p.convos.emplace_back();
+  p.convos.back().content = content;
+  return p.convos.back();
+}
+
+Endpoint::Convo* Endpoint::find_convo(PeerId peer, ContentId content) {
+  if (peer >= peers_.size()) return nullptr;
+  for (Convo& cv : peers_[peer].convos) {
+    if (cv.content == content) return &cv;
+  }
+  return nullptr;
+}
+
+const Endpoint::Convo* Endpoint::find_convo(PeerId peer,
+                                            ContentId content) const {
+  return const_cast<Endpoint*>(this)->find_convo(peer, content);
 }
 
 void Endpoint::close_outbound(Outbound& out) {
@@ -57,81 +118,183 @@ bool Endpoint::poll_transmit(PeerId& peer, wire::Frame& out) {
   return true;
 }
 
-void Endpoint::queue_advertise(PeerId peer, const Outbound& out) {
-  wire::serialize_advertise(out.packet.coeffs, out.packet.payload.size_bytes(),
-                            push_slot(peer));
+void Endpoint::queue_advertise(PeerId peer, ContentId content,
+                               const Outbound& out) {
+  wire::AdvertiseInfo info;
+  info.content = content;
+  info.has_generation = out.generationed;
+  info.generation = out.generation;
+  info.payload_bytes = out.packet.payload.size_bytes();
+  wire::serialize_advertise(info, out.packet.coeffs, push_slot(peer));
 }
 
-void Endpoint::queue_data(PeerId peer, const CodedPacket& packet) {
-  wire::serialize(packet, push_slot(peer));
+void Endpoint::queue_data(PeerId peer, ContentId content,
+                          const Outbound& out) {
+  queue_data_direct(peer, content, out.generationed, out.generation,
+                    out.packet);
 }
 
-void Endpoint::queue_feedback(PeerId peer, wire::MessageType type,
-                              std::uint64_t token) {
-  wire::serialize_feedback(type, token, push_slot(peer));
+void Endpoint::queue_data_direct(PeerId peer, ContentId content,
+                                 bool generationed, std::uint32_t generation,
+                                 const CodedPacket& packet) {
+  if (generationed) {
+    wire::serialize_generation(content, generation, packet, push_slot(peer));
+  } else {
+    wire::serialize(content, packet, push_slot(peer));
+  }
 }
 
-void Endpoint::queue_cc(PeerId peer,
+void Endpoint::queue_feedback(PeerId peer, ContentId content,
+                              wire::MessageType type, std::uint64_t token) {
+  wire::serialize_feedback(content, type, token, push_slot(peer));
+}
+
+void Endpoint::queue_cc(PeerId peer, ContentId content,
                         const std::vector<std::uint32_t>& leaders) {
-  wire::serialize_cc(leaders, push_slot(peer));
+  wire::serialize_cc(content, leaders, push_slot(peer));
 }
 
 // --- application surface ---------------------------------------------------
 
 bool Endpoint::start_transfer(PeerId peer, Rng& rng) {
-  if (protocol_ == nullptr) return false;
-  Peer& p = peer_state(peer);
+  return start_transfer(peer, ContentId{0}, rng);
+}
+
+bool Endpoint::start_transfer(PeerId peer, ContentId content, Rng& rng) {
+  store::Content* c = store_->find(content);
+  if (c == nullptr) return false;
   std::optional<CodedPacket> packet;
-  if (cfg_.feedback == FeedbackMode::kSmart && p.cc_fresh) {
-    p.cc_fresh = false;  // one construction per shipped cc array
-    packet = protocol_->emit_for(p.cc, rng);
+  std::uint32_t generation = 0;
+  if (!c->generationed() && c->protocol() != nullptr &&
+      cfg_.feedback == FeedbackMode::kSmart) {
+    Convo& cv = convo(peer, content);
+    if (cv.cc_fresh) {
+      cv.cc_fresh = false;  // one construction per shipped cc array
+      packet = c->protocol()->emit_for(cv.cc, rng);
+    } else {
+      packet = c->protocol()->emit(rng);
+    }
   } else {
-    packet = protocol_->emit(rng);
+    packet = c->emit(generation, rng);
   }
   if (!packet.has_value()) return false;
-  begin_offer(peer, *packet);
+  begin_offer(peer, content, c->generationed(), generation, *packet);
   return true;
 }
 
-void Endpoint::offer_packet(PeerId peer, const CodedPacket& packet) {
-  begin_offer(peer, packet);
+const store::Content* Endpoint::next_push(PeerId peer) {
+  const std::size_t n = store_->size();
+  if (n == 0) return nullptr;
+  if (cfg_.pace_tokens_per_tick > 0.0 && pace_tokens_ < 1.0) {
+    ++stats_.pacer_deferrals;
+    return nullptr;
+  }
+  if (eligible_.size() < n) eligible_.resize(n);
+  bool any = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    eligible_[i] = 0;
+    store::Content& c = store_->at(i);
+    if (!c.can_emit()) continue;
+    const Convo* cv = find_convo(peer, c.id());
+    if (cv != nullptr && (cv->peer_done ||
+                          cv->out.state == Outbound::State::kAwaitFeedback)) {
+      continue;  // the peer is done with it, or a transfer is in flight
+    }
+    eligible_[i] = 1;
+    any = true;
+  }
+  if (!any) return nullptr;
+  const std::size_t pick =
+      scheduler_.pick(*store_, {eligible_.data(), eligible_.size()});
+  if (pick == store::SwarmScheduler::kNone) return nullptr;
+  if (cfg_.pace_tokens_per_tick > 0.0) pace_tokens_ -= 1.0;
+  ++stats_.swarm_pushes;
+  return &store_->at(pick);
 }
 
-void Endpoint::begin_offer(PeerId peer, const CodedPacket& packet) {
+void Endpoint::offer_packet(PeerId peer, const CodedPacket& packet) {
+  begin_offer(peer, ContentId{0}, false, 0, packet);
+}
+
+void Endpoint::offer_packet(PeerId peer, ContentId content,
+                            const CodedPacket& packet) {
+  begin_offer(peer, content, false, 0, packet);
+}
+
+void Endpoint::offer_packet(PeerId peer, ContentId content,
+                            std::uint32_t generation,
+                            const CodedPacket& packet) {
+  begin_offer(peer, content, true, generation, packet);
+}
+
+void Endpoint::begin_offer(PeerId peer, ContentId content, bool generationed,
+                           std::uint32_t generation,
+                           const CodedPacket& packet) {
   ++stats_.offers;
   if (cfg_.feedback == FeedbackMode::kNone) {
-    // No handshake: the payload goes out directly, fire and forget.
-    queue_data(peer, packet);
+    // No handshake: the payload goes out directly, fire and forget. The
+    // conversation slot still exists (created once, cold) so the peer's
+    // eventual completion kAck for this content has a home — inbound
+    // feedback only ever binds to conversations we opened ourselves.
+    convo(peer, content);
+    queue_data_direct(peer, content, generationed, generation, packet);
     ++stats_.data_sent;
     return;
   }
-  Peer& p = peer_state(peer);
-  if (p.out.state == Outbound::State::kAwaitFeedback) {
+  Convo& cv = convo(peer, content);
+  if (cv.out.state == Outbound::State::kAwaitFeedback) {
     ++stats_.transfers_abandoned;  // superseded by the fresher offer
   }
-  p.out.packet = packet;
-  p.out.state = Outbound::State::kAwaitFeedback;
-  p.out.retries = 0;
-  p.out.deadline = now_ + cfg_.response_timeout;
-  queue_advertise(peer, p.out);
+  cv.out.packet = packet;
+  cv.out.generationed = generationed;
+  cv.out.generation = generation;
+  cv.out.state = Outbound::State::kAwaitFeedback;
+  cv.out.retries = 0;
+  cv.out.deadline = now_ + cfg_.response_timeout;
+  queue_advertise(peer, content, cv.out);
   ++stats_.advertises_sent;
 }
 
 bool Endpoint::announce_cc(PeerId peer) {
-  if (protocol_ == nullptr) return false;
-  const std::vector<std::uint32_t>* leaders = protocol_->component_leaders();
+  return announce_cc(peer, ContentId{0});
+}
+
+bool Endpoint::announce_cc(PeerId peer, ContentId content) {
+  store::Content* c = store_->find(content);
+  if (c == nullptr || c->protocol() == nullptr) return false;
+  const std::vector<std::uint32_t>* leaders =
+      c->protocol()->component_leaders();
   if (leaders == nullptr) return false;
-  queue_cc(peer, *leaders);
+  queue_cc(peer, content, *leaders);
   ++stats_.cc_sent;
   return true;
 }
 
 bool Endpoint::overhear(const CodedPacket& packet) {
-  if (protocol_ == nullptr || protocol_->would_reject(packet.coeffs)) {
+  return overhear(ContentId{0}, packet);
+}
+
+bool Endpoint::overhear(ContentId content, const CodedPacket& packet) {
+  store::Content* c = store_->find(content);
+  if (c == nullptr || c->generationed() || c->protocol() == nullptr ||
+      c->would_reject(0, packet.coeffs)) {
     return false;
   }
-  protocol_->deliver(packet);
+  c->deliver(0, packet);
   ++stats_.overheard;
+  return true;
+}
+
+bool Endpoint::peer_completed(PeerId peer, ContentId content) const {
+  const Convo* cv = find_convo(peer, content);
+  return cv != nullptr && cv->peer_done;
+}
+
+bool Endpoint::peer_completed_all(PeerId peer) const {
+  if (store_->size() == 0) return false;
+  for (std::size_t i = 0; i < store_->size(); ++i) {
+    if (!peer_completed(peer, store_->at(i).id())) return false;
+  }
   return true;
 }
 
@@ -164,21 +327,22 @@ Endpoint::Event Endpoint::handle_frame(PeerId peer,
       return on_advertise(peer, bytes);
     case wire::MessageType::kCodedPacket:
       return on_data(peer, bytes);
+    case wire::MessageType::kGenerationPacket:
+      return on_generation_data(peer, bytes);
     case wire::MessageType::kAbort:
     case wire::MessageType::kAck:
     case wire::MessageType::kProceed: {
       std::uint64_t token = 0;
-      if (wire::deserialize_feedback(bytes, type, token) !=
+      ContentId content = 0;
+      if (wire::deserialize_feedback(bytes, type, token, content) !=
           wire::DecodeStatus::kOk) {
         ++stats_.malformed_frames;
         return Event::kMalformed;
       }
-      return on_feedback(peer, type, token);
+      return on_feedback(peer, content, type, token);
     }
     case wire::MessageType::kCcArray:
       return on_cc(peer, bytes);
-    case wire::MessageType::kGenerationPacket:
-      break;  // sessions are single-content (ROADMAP: multi-content)
   }
   ++stats_.foreign_frames;
   return Event::kNone;
@@ -186,18 +350,23 @@ Endpoint::Event Endpoint::handle_frame(PeerId peer,
 
 Endpoint::Event Endpoint::on_advertise(PeerId peer,
                                        std::span<const std::uint8_t> bytes) {
-  if (wire::deserialize_advertise(bytes, rx_coeffs_, rx_payload_bytes_) !=
+  if (wire::deserialize_advertise(bytes, rx_coeffs_, rx_adv_) !=
       wire::DecodeStatus::kOk) {
     ++stats_.malformed_frames;
     return Event::kMalformed;
   }
-  if (rx_coeffs_.size() != cfg_.k || rx_payload_bytes_ != cfg_.payload_bytes) {
+  store::Content* c = store_->find(rx_adv_.content);
+  if (c == nullptr || rx_coeffs_.size() != c->k() ||
+      rx_adv_.payload_bytes != c->payload_bytes() ||
+      rx_adv_.has_generation != c->generationed() ||
+      (rx_adv_.has_generation && rx_adv_.generation >= c->generations())) {
     ++stats_.foreign_frames;
     return Event::kNone;
   }
   ++stats_.advertises_received;
-  Peer& p = peer_state(peer);
-  if (p.in.awaiting_data && p.in.coeffs == rx_coeffs_) {
+  Convo& cv = convo(peer, rx_adv_.content);
+  if (cv.in.awaiting_data && cv.in.generation == rx_adv_.generation &&
+      cv.in.coeffs == rx_coeffs_) {
     // Replay of an advertise we already answered (our proceed was lost,
     // or the frame was duplicated in flight). Note it, then fall through
     // to a full re-evaluation: the vector may have turned redundant since
@@ -205,85 +374,136 @@ Endpoint::Event Endpoint::on_advertise(PeerId peer,
     // the conversation is simply re-armed, never opened twice.
     ++stats_.duplicates_suppressed;
   }
-  // A protocol-less endpoint (pure seeder) can never consume a payload:
+  // A receiver-less content (pure seeder) can never consume a payload:
   // vetoing up front beats inviting a data frame it would drop as
   // foreign.
   const bool reject = cfg_.feedback != FeedbackMode::kNone &&
-                      (protocol_ == nullptr ||
-                       protocol_->would_reject(rx_coeffs_));
+                      c->would_reject(rx_adv_.generation, rx_coeffs_);
   const std::uint64_t token = next_feedback_token();
   if (reject) {
-    p.in.awaiting_data = false;  // any stale conversation dies with the veto
-    queue_feedback(peer, wire::MessageType::kAbort, token);
+    cv.in.awaiting_data = false;  // any stale conversation dies with the veto
+    queue_feedback(peer, rx_adv_.content, wire::MessageType::kAbort, token);
     ++stats_.aborts_sent;
     return Event::kAborted;
   }
-  // A fresh advertise supersedes whatever this peer had in flight.
-  p.in.coeffs = rx_coeffs_;
-  p.in.awaiting_data = true;
-  p.in.deadline = now_ + cfg_.response_timeout;
-  queue_feedback(peer, wire::MessageType::kProceed, token);
+  // A fresh advertise supersedes whatever this (peer, content) had in
+  // flight.
+  cv.in.coeffs = rx_coeffs_;
+  cv.in.generation = rx_adv_.generation;
+  cv.in.awaiting_data = true;
+  cv.in.deadline = now_ + cfg_.response_timeout;
+  queue_feedback(peer, rx_adv_.content, wire::MessageType::kProceed, token);
   ++stats_.proceeds_sent;
   return Event::kProceeding;
 }
 
 Endpoint::Event Endpoint::on_data(PeerId peer,
                                   std::span<const std::uint8_t> bytes) {
-  if (wire::deserialize(bytes, rx_packet_) != wire::DecodeStatus::kOk) {
+  ContentId content = 0;
+  if (wire::deserialize(bytes, content, rx_packet_) !=
+      wire::DecodeStatus::kOk) {
     ++stats_.malformed_frames;
     return Event::kMalformed;
   }
-  if (rx_packet_.coeffs.size() != cfg_.k ||
-      rx_packet_.payload.size_bytes() != cfg_.payload_bytes ||
-      protocol_ == nullptr) {
+  const std::size_t index = store_->index_of(content);
+  store::Content* c = index < store_->size() ? &store_->at(index) : nullptr;
+  if (c == nullptr || c->generationed() || c->protocol() == nullptr ||
+      rx_packet_.coeffs.size() != c->k() ||
+      rx_packet_.payload.size_bytes() != c->payload_bytes()) {
     ++stats_.foreign_frames;
     return Event::kNone;
   }
-  Peer& p = peer_state(peer);
-  if (p.in.awaiting_data && p.in.coeffs == rx_packet_.coeffs) {
-    p.in.awaiting_data = false;  // the conversation closes on delivery
+  return deliver_data(peer, index, *c, 0);
+}
+
+Endpoint::Event Endpoint::on_generation_data(
+    PeerId peer, std::span<const std::uint8_t> bytes) {
+  ContentId content = 0;
+  std::uint32_t generation = 0;
+  if (wire::deserialize_generation(bytes, content, generation, rx_packet_) !=
+      wire::DecodeStatus::kOk) {
+    ++stats_.malformed_frames;
+    return Event::kMalformed;
+  }
+  const std::size_t index = store_->index_of(content);
+  store::Content* c = index < store_->size() ? &store_->at(index) : nullptr;
+  if (c == nullptr || !c->generationed() ||
+      generation >= c->generations() ||
+      rx_packet_.coeffs.size() != c->k() ||
+      rx_packet_.payload.size_bytes() != c->payload_bytes()) {
+    ++stats_.foreign_frames;  // genuinely unknown content id or shape
+    return Event::kNone;
+  }
+  return deliver_data(peer, index, *c, generation);
+}
+
+Endpoint::Event Endpoint::deliver_data(PeerId peer,
+                                       std::size_t content_index,
+                                       store::Content& content,
+                                       std::uint32_t generation) {
+  Convo& cv = convo(peer, content.id());
+  if (cv.in.awaiting_data && cv.in.generation == generation &&
+      cv.in.coeffs == rx_packet_.coeffs) {
+    cv.in.awaiting_data = false;  // the conversation closes on delivery
   } else if (cfg_.feedback != FeedbackMode::kNone) {
     // Data with no matching advertise: a reordered or replayed frame.
     // Deliver anyway — the protocol's own redundancy detection is the
     // authority on usefulness, and rateless payloads are always safe.
     ++stats_.unsolicited_data;
   }
-  protocol_->deliver(rx_packet_);
+  content.deliver(generation, rx_packet_);
   ++stats_.data_delivered;
-  maybe_announce_completion(peer);
+  maybe_announce_completion(content_index, content, peer);
   return Event::kDelivered;
 }
 
-Endpoint::Event Endpoint::on_feedback(PeerId peer, wire::MessageType type,
+Endpoint::Event Endpoint::on_feedback(PeerId peer, ContentId content,
+                                      wire::MessageType type,
                                       std::uint64_t token) {
-  Peer& p = peer_state(peer);
+  // Feedback binds only to conversations this endpoint opened (every
+  // offer creates the slot). Never allocate convo state off an inbound
+  // content id: a stray or forged frame sweeping the 2^64 id space must
+  // not grow per-peer memory — the open-port hardening rule.
+  Convo* cv = find_convo(peer, content);
+  if (cv == nullptr) {
+    if (type == wire::MessageType::kAck) {
+      ++stats_.completions_received;
+      ++stats_.foreign_frames;  // ack for a conversation we never had
+    } else {
+      ++stats_.duplicates_suppressed;  // stale answer to a closed transfer
+    }
+    return Event::kNone;
+  }
   switch (type) {
     case wire::MessageType::kAbort:
-      if (p.out.state != Outbound::State::kAwaitFeedback) {
+      if (cv->out.state != Outbound::State::kAwaitFeedback) {
         ++stats_.duplicates_suppressed;  // stale veto of a closed transfer
         return Event::kNone;
       }
-      close_outbound(p.out);
+      close_outbound(cv->out);
       ++stats_.aborts_received;
       return Event::kAbortReceived;
     case wire::MessageType::kProceed:
-      if (p.out.state != Outbound::State::kAwaitFeedback) {
+      if (cv->out.state != Outbound::State::kAwaitFeedback) {
         ++stats_.duplicates_suppressed;  // duplicate go-ahead: data already
         return Event::kNone;             // went out exactly once
       }
       ++stats_.proceeds_received;
-      queue_data(peer, p.out.packet);
+      queue_data(peer, content, cv->out);
       ++stats_.data_sent;
-      close_outbound(p.out);
+      close_outbound(cv->out);
       return Event::kProceedReceived;
     case wire::MessageType::kAck:
       ++stats_.completions_received;
-      if (peer_completed_) {
+      if (cv->peer_done) {
         ++stats_.duplicates_suppressed;
         return Event::kNone;
       }
-      peer_completed_ = true;
-      completion_token_ = token;
+      cv->peer_done = true;
+      if (!peer_completed_) {
+        peer_completed_ = true;
+        completion_token_ = token;
+      }
       return Event::kAckReceived;
     default:
       break;
@@ -294,62 +514,83 @@ Endpoint::Event Endpoint::on_feedback(PeerId peer, wire::MessageType type,
 
 Endpoint::Event Endpoint::on_cc(PeerId peer,
                                 std::span<const std::uint8_t> bytes) {
-  Peer& p = peer_state(peer);
-  if (wire::deserialize_cc(bytes, p.cc) != wire::DecodeStatus::kOk) {
+  ContentId content = 0;
+  if (wire::deserialize_cc(bytes, content, rx_cc_) !=
+      wire::DecodeStatus::kOk) {
     ++stats_.malformed_frames;
     return Event::kMalformed;
   }
-  if (p.cc.size() != cfg_.k) {
-    p.cc_fresh = false;
+  // Validate the content before touching convo state — an unknown or
+  // mismatched cc must not allocate a (peer, content) slot (see
+  // on_feedback). A stale fresh-flag for the slot, if any, dies too.
+  const store::Content* c = store_->find(content);
+  if (c == nullptr || c->generationed() || rx_cc_.size() != c->k()) {
+    if (Convo* cv = find_convo(peer, content)) cv->cc_fresh = false;
     ++stats_.foreign_frames;
     return Event::kNone;
   }
-  p.cc_fresh = true;
+  Convo& cv = convo(peer, content);
+  std::swap(cv.cc, rx_cc_);  // banks the old buffer as the next scratch
+  cv.cc_fresh = true;
   ++stats_.cc_received;
   return Event::kCcReceived;
 }
 
 // --- timers ----------------------------------------------------------------
 
-void Endpoint::maybe_announce_completion(PeerId data_peer) {
-  if (!cfg_.announce_completion || completion_queued_ || !complete()) return;
-  completion_queued_ = true;
-  completion_peer_ = data_peer;
-  completion_announcements_ = 1;
-  completion_deadline_ = now_ + cfg_.response_timeout;
-  queue_feedback(completion_peer_, wire::MessageType::kAck,
+void Endpoint::maybe_announce_completion(std::size_t content_index,
+                                         store::Content& content,
+                                         PeerId data_peer) {
+  if (!cfg_.announce_completion) return;
+  if (announces_.size() < store_->size()) announces_.resize(store_->size());
+  Announce& a = announces_[content_index];
+  if (a.queued || !content.complete()) return;
+  a.queued = true;
+  a.peer = data_peer;
+  a.count = 1;
+  a.deadline = now_ + cfg_.response_timeout;
+  queue_feedback(a.peer, content.id(), wire::MessageType::kAck,
                  stats_.data_delivered);
   ++stats_.completions_sent;
 }
 
 void Endpoint::tick(Instant now) {
+  if (cfg_.pace_tokens_per_tick > 0.0 && now > now_) {
+    pace_tokens_ = std::min(
+        cfg_.pace_burst,
+        pace_tokens_ + cfg_.pace_tokens_per_tick *
+                           static_cast<double>(now - now_));
+  }
   now_ = now;
   for (PeerId peer = 0; peer < peers_.size(); ++peer) {
-    Peer& p = peers_[peer];
-    if (p.out.state == Outbound::State::kAwaitFeedback &&
-        now >= p.out.deadline) {
-      if (p.out.retries < cfg_.max_retries) {
-        ++p.out.retries;
-        p.out.deadline = now + cfg_.response_timeout;
-        queue_advertise(peer, p.out);
-        ++stats_.advertise_retransmits;
-      } else {
-        close_outbound(p.out);
-        ++stats_.transfers_abandoned;
+    for (Convo& cv : peers_[peer].convos) {
+      if (cv.out.state == Outbound::State::kAwaitFeedback &&
+          now >= cv.out.deadline) {
+        if (cv.out.retries < cfg_.max_retries) {
+          ++cv.out.retries;
+          cv.out.deadline = now + cfg_.response_timeout;
+          queue_advertise(peer, cv.content, cv.out);
+          ++stats_.advertise_retransmits;
+        } else {
+          close_outbound(cv.out);
+          ++stats_.transfers_abandoned;
+        }
+      }
+      if (cv.in.awaiting_data && now >= cv.in.deadline) {
+        cv.in.awaiting_data = false;  // the payload never came
+        ++stats_.timeouts;
       }
     }
-    if (p.in.awaiting_data && now >= p.in.deadline) {
-      p.in.awaiting_data = false;  // the payload never came
-      ++stats_.timeouts;
-    }
   }
-  if (completion_queued_ && completion_announcements_ <= cfg_.max_retries &&
-      now >= completion_deadline_) {
-    ++completion_announcements_;
-    completion_deadline_ = now + cfg_.response_timeout;
-    queue_feedback(completion_peer_, wire::MessageType::kAck,
-                   stats_.data_delivered);
-    ++stats_.completions_sent;
+  for (std::size_t i = 0; i < announces_.size(); ++i) {
+    Announce& a = announces_[i];
+    if (a.queued && a.count <= cfg_.max_retries && now >= a.deadline) {
+      ++a.count;
+      a.deadline = now + cfg_.response_timeout;
+      queue_feedback(a.peer, store_->at(i).id(), wire::MessageType::kAck,
+                     stats_.data_delivered);
+      ++stats_.completions_sent;
+    }
   }
 }
 

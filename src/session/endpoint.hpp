@@ -1,31 +1,42 @@
 // Endpoint — the sans-I/O session layer (quiche/h2-style).
 //
-// One Endpoint owns one NodeProtocol (LTNC, RLNC, WC, an LT sink — or
-// none, for a pure fountain sender) and runs the paper's transfer
-// conversation (§III-C) as a per-peer state machine, with **no sockets, no
-// clocks and no allocation at steady state**:
+// One Endpoint owns one store::ContentStore — N registered contents, each
+// a NodeProtocol (LTNC, RLNC, WC, an LT sink) or a GenerationedLtnc — and
+// runs the paper's transfer conversation (§III-C) as a per-(peer, content)
+// state machine, with **no sockets, no clocks and no allocation at steady
+// state**:
 //
 //      application           Endpoint                transport
 //   start_transfer() ──▶ ┌──────────────┐
-//   offer_packet()       │  per-peer    │ ──▶ poll_transmit() ──▶ send()
-//   announce_cc()        │  handshake   │
-//   tick(now)        ──▶ │  state       │ ◀── handle_frame() ◀── recv()
+//   offer_packet()       │ per-peer,    │ ──▶ poll_transmit() ──▶ send()
+//   next_push()          │ per-content  │
+//   announce_cc()        │ handshake    │
+//   tick(now)        ──▶ │ state        │ ◀── handle_frame() ◀── recv()
 //                        └──────────────┘
 //
 // The conversation per transfer, sender S → receiver R:
 //
-//   S  kAdvertise (code vector + dims; byte-identical to the data frame
-//      minus its payload) ──▶ R
+//   S  kAdvertise (content id [+ generation] + code vector + dims;
+//      byte-identical to the data frame minus its payload) ──▶ R
 //   R  kAbort  (veto: the vector is useless to R)            ──▶ S  done
 //   R  kProceed (go ahead)                                   ──▶ S
-//   S  kCodedPacket (the payload transfer)                   ──▶ R  done
+//   S  kCodedPacket / kGenerationPacket (the payload)        ──▶ R  done
+//
+// Multi-content sessions: every frame carries its ContentId (zero wire
+// bytes for the default content 0, so single-content traffic is
+// byte-identical to the pre-store implementation); conversations,
+// completion acks and cc caches are per (peer, content); next_push() asks
+// the SwarmScheduler which content a push slot should carry
+// (rarest-generation-first, round-robin fallback) under a token-bucket
+// pacer refilled by tick() — an endpoint serving hundreds of contents
+// must not burst-flood a real UDP link.
 //
 // FeedbackMode::kNone skips the handshake (data is pushed directly);
 // kSmart additionally lets R ship its cc array (announce_cc → kCcArray),
-// which S caches and consumes on its next start_transfer via emit_for().
-// A completed protocol can announce itself with a kAck carrying the
-// delivered-frame count (announce_completion), which the paper's file
-// sender uses as its stop signal.
+// which S caches per (peer, content) and consumes on its next
+// start_transfer via emit_for(). A completed content announces itself
+// with a kAck carrying the delivered-frame count (announce_completion),
+// which the file sender uses as its per-content stop signal.
 //
 // Reliability is the application's loop plus two timers: an advertise
 // awaiting feedback retransmits on tick() until max_retries, and replayed
@@ -51,7 +62,10 @@
 #include "common/bitvector.hpp"
 #include "common/coded_packet.hpp"
 #include "common/rng.hpp"
+#include "common/types.hpp"
 #include "session/protocols.hpp"
+#include "store/content_store.hpp"
+#include "store/swarm_scheduler.hpp"
 #include "wire/codec.hpp"
 #include "wire/frame.hpp"
 
@@ -67,9 +81,11 @@ using PeerId = std::uint32_t;
 using Instant = std::uint64_t;
 
 struct EndpointConfig {
-  /// Expected content dimensions; frames advertising any other k/m are
-  /// dropped as foreign traffic (a stray datagram on an open port must
-  /// never poison the protocol).
+  /// Expected dimensions of the default content (id 0) when the endpoint
+  /// is built over a single protocol; ignored (may stay 0) when a
+  /// ContentStore supplies per-content dimensions. Frames addressing a
+  /// known content with any other k/m are dropped as foreign traffic (a
+  /// stray datagram on an open port must never poison the protocol).
   std::size_t k = 0;
   std::size_t payload_bytes = 0;
   FeedbackMode feedback = FeedbackMode::kBinary;
@@ -80,9 +96,16 @@ struct EndpointConfig {
   /// completion-announce retransmission budget.
   std::uint32_t max_retries = 4;
   /// Queue a kAck (token = data frames delivered) to the last data sender
-  /// when the protocol completes, and re-queue it on tick() while the
+  /// when a content completes, and re-queue it on tick() while the
   /// session stays alive — the stop signal of a file transfer.
   bool announce_completion = false;
+  /// Token-bucket pacer over next_push(): tokens added per tick-unit, 0 =
+  /// unpaced. Only scheduler-driven pushes pay tokens — handshake answers
+  /// and retransmissions always flow, so pacing can never deadlock a
+  /// conversation.
+  double pace_tokens_per_tick = 0.0;
+  /// Bucket capacity: the largest burst next_push() can emit after idling.
+  double pace_burst = 8.0;
 };
 
 /// One struct unifying the counters that used to be scattered over the
@@ -110,12 +133,16 @@ struct SessionStats {
   // -- completion announcements
   std::uint64_t completions_sent = 0;       ///< includes re-announcements
   std::uint64_t completions_received = 0;
+  // -- swarm scheduling
+  std::uint64_t swarm_pushes = 0;           ///< next_push() picks granted
+  std::uint64_t pacer_deferrals = 0;        ///< next_push() bucket empty
   // -- hygiene
   std::uint64_t duplicates_suppressed = 0;  ///< replayed frames absorbed
   std::uint64_t timeouts = 0;               ///< inbound conversations reset
   std::uint64_t malformed_frames = 0;       ///< failed the hardened decode
-  std::uint64_t foreign_frames = 0;         ///< wrong k/m, or data at a
-                                            ///< protocol-less endpoint
+  std::uint64_t foreign_frames = 0;         ///< unknown content id, wrong
+                                            ///< k/m, or data at a
+                                            ///< receiver-less content
   // -- totals (frames_sent counts frames popped via poll_transmit; a
   // transport may still refuse one, so socket-level tallies belong to
   // the transport glue)
@@ -143,6 +170,8 @@ struct SessionStats {
     cc_received += o.cc_received;
     completions_sent += o.completions_sent;
     completions_received += o.completions_received;
+    swarm_pushes += o.swarm_pushes;
+    pacer_deferrals += o.pacer_deferrals;
     duplicates_suppressed += o.duplicates_suppressed;
     timeouts += o.timeouts;
     malformed_frames += o.malformed_frames;
@@ -167,54 +196,98 @@ class Endpoint {
     kDelivered,        ///< a payload reached our protocol
     kAbortReceived,    ///< our transfer was vetoed; conversation closed
     kProceedReceived,  ///< go-ahead received; data frame queued
-    kAckReceived,      ///< the peer announced completion
+    kAckReceived,      ///< the peer announced a content's completion
     kCcReceived,       ///< the peer's cc array was cached
     kMalformed,        ///< frame failed the hardened decode
   };
 
-  /// `protocol` may be null: a protocol-less endpoint is a pure sender
-  /// (offer_packet) that still runs the handshake and understands
-  /// abort/proceed/ack — the shape of a fountain-code file seeder.
+  /// Single-content endpoint: `protocol` becomes the default content
+  /// (id 0) with the config's dimensions. May be null: a protocol-less
+  /// endpoint is a pure sender (offer_packet) that still runs the
+  /// handshake and understands abort/proceed/ack — the shape of a
+  /// fountain-code file seeder.
   Endpoint(const EndpointConfig& config,
            std::unique_ptr<NodeProtocol> protocol);
 
+  /// Disambiguates Endpoint(cfg, nullptr) — the protocol-less seeder.
+  Endpoint(const EndpointConfig& config, std::nullptr_t)
+      : Endpoint(config, std::unique_ptr<NodeProtocol>()) {}
+
+  /// Multi-content endpoint over a caller-assembled store.
+  Endpoint(const EndpointConfig& config,
+           std::unique_ptr<store::ContentStore> contents);
+
   const EndpointConfig& config() const { return cfg_; }
-  NodeProtocol* protocol() { return protocol_.get(); }
-  const NodeProtocol* protocol() const { return protocol_.get(); }
+  store::ContentStore& contents() { return *store_; }
+  const store::ContentStore& contents() const { return *store_; }
+  /// The default content's protocol (legacy single-content surface);
+  /// null when content 0 is unregistered, protocol-less or generationed.
+  NodeProtocol* protocol();
+  const NodeProtocol* protocol() const;
   const SessionStats& stats() const { return stats_; }
 
-  bool complete() const { return protocol_ != nullptr && protocol_->complete(); }
+  /// Every content with decode state has fully decoded (false when none
+  /// has decode state — a pure seeder is never "complete").
+  bool complete() const { return store_->all_complete(); }
   /// Aggressiveness gate (false for protocol-less and sink endpoints).
-  bool can_push() const {
-    return protocol_ != nullptr && protocol_->can_emit();
-  }
+  bool can_push() const;
 
   // --- application surface -------------------------------------------------
 
-  /// Starts a transfer toward `peer` with a packet emitted by the
-  /// protocol (emit_for when a fresh cc array from that peer is cached —
-  /// the cache is consumed either way). Returns false when the protocol
-  /// has nothing to say. Supersedes any transfer to `peer` still awaiting
-  /// feedback.
+  /// Starts a transfer of the default content toward `peer` with a packet
+  /// emitted by its protocol (emit_for when a fresh cc array from that
+  /// peer is cached — the cache is consumed either way). Returns false
+  /// when the protocol has nothing to say. Supersedes any transfer of the
+  /// same content to `peer` still awaiting feedback.
   bool start_transfer(PeerId peer, Rng& rng);
+  /// Multi-content variant; generationed contents recode from their
+  /// scarcest generation (rarest-generation-first).
+  bool start_transfer(PeerId peer, ContentId content, Rng& rng);
+
+  /// Scheduler surface: picks which content the next push slot toward
+  /// `peer` should carry — rarest-first over the store with a round-robin
+  /// fallback, skipping contents that cannot emit, whose conversation to
+  /// `peer` is still awaiting feedback, or that `peer` has acked complete
+  /// — and charges the pacer one token. Returns nullptr when nothing is
+  /// eligible or the bucket is empty; follow up with
+  /// start_transfer(peer, content->id(), rng).
+  ///
+  /// Draining the bucket with `while (next_push(...)) start_transfer(...)`
+  /// terminates for handshake modes (every started transfer awaits
+  /// feedback) or paced endpoints (the bucket empties). Under
+  /// FeedbackMode::kNone with pacing disabled nothing ever becomes
+  /// ineligible, so every call grants a pick — bound the loop externally
+  /// (e.g. one pick per push slot, as the simulator does).
+  const store::Content* next_push(PeerId peer);
 
   /// Starts a transfer toward `peer` with an externally built packet (a
   /// source encoder, a replayed store). Always succeeds.
   void offer_packet(PeerId peer, const CodedPacket& packet);
+  void offer_packet(PeerId peer, ContentId content, const CodedPacket& packet);
+  /// Generation-scoped offer: the payload travels as kGenerationPacket.
+  void offer_packet(PeerId peer, ContentId content, std::uint32_t generation,
+                    const CodedPacket& packet);
 
-  /// Queues this node's cc array toward `peer` (smart feedback §III-C.2).
-  /// False when the protocol has none to ship.
+  /// Queues this node's cc array for a content toward `peer` (smart
+  /// feedback §III-C.2). False when the content has none to ship.
   bool announce_cc(PeerId peer);
+  bool announce_cc(PeerId peer, ContentId content);
 
   /// Wireless snoop (§VI): consume a packet overheard off someone else's
   /// transfer — no frames, no handshake. Returns true if the protocol
   /// kept it.
   bool overhear(const CodedPacket& packet);
+  bool overhear(ContentId content, const CodedPacket& packet);
 
-  /// True once a kAck arrived from any peer; token() is its payload
-  /// (the receiver's delivered-frame count).
+  /// True once a kAck arrived from any peer for any content; token() is
+  /// its payload (the receiver's delivered-frame count).
   bool peer_completed() const { return peer_completed_; }
   std::uint64_t peer_completion_token() const { return completion_token_; }
+  /// Per-(peer, content) completion knowledge from kAck frames.
+  bool peer_completed(PeerId peer, ContentId content) const;
+  /// Has `peer` acked every registered content? (The multi-file sender's
+  /// stop signal.)
+  bool peer_completed_all(PeerId peer) const;
 
   /// Token stamped into the *next* abort/proceed answer instead of the
   /// endpoint's own conversation counter. An orchestrator driving many
@@ -236,10 +309,10 @@ class Endpoint {
   bool has_pending_transmit() const { return tx_size_ != 0; }
   std::size_t pending_transmit() const { return tx_size_; }
 
-  /// Advances session time: retransmits advertises awaiting feedback,
-  /// abandons them past max_retries, resets inbound conversations whose
-  /// data never arrived, re-announces completion. `now` must not
-  /// decrease.
+  /// Advances session time: refills the pacer bucket, retransmits
+  /// advertises awaiting feedback, abandons them past max_retries, resets
+  /// inbound conversations whose data never arrived, re-announces
+  /// completions. `now` must not decrease.
   void tick(Instant now);
 
  private:
@@ -247,51 +320,85 @@ class Endpoint {
     enum class State : std::uint8_t { kIdle, kAwaitFeedback };
     State state = State::kIdle;
     CodedPacket packet;  ///< pending payload (storage reused across offers)
+    bool generationed = false;  ///< payload travels as kGenerationPacket
+    std::uint32_t generation = 0;
     Instant deadline = 0;
     std::uint32_t retries = 0;
   };
 
   struct Inbound {
     BitVector coeffs;  ///< advertised vector we answered with a proceed
+    std::uint32_t generation = 0;
     bool awaiting_data = false;
     Instant deadline = 0;
   };
 
-  struct Peer {
+  /// Conversation state for one (peer, content) pair.
+  struct Convo {
+    ContentId content = 0;
     Outbound out;
     Inbound in;
     std::vector<std::uint32_t> cc;  ///< freshest cc array from this peer
     bool cc_fresh = false;
+    bool peer_done = false;  ///< peer acked this content complete
+  };
+
+  struct Peer {
+    std::vector<Convo> convos;  ///< tiny; linear scan by content id
+  };
+
+  /// Per-content completion-announcement state (receiver side of a file
+  /// transfer), indexed like the store.
+  struct Announce {
+    bool queued = false;
+    PeerId peer = 0;
+    std::uint32_t count = 0;
+    Instant deadline = 0;
   };
 
   Peer& peer_state(PeerId peer);
+  Convo& convo(PeerId peer, ContentId content);
+  Convo* find_convo(PeerId peer, ContentId content);
+  const Convo* find_convo(PeerId peer, ContentId content) const;
   /// Closes an outgoing conversation and releases the pending packet's
-  /// arena lease — per-peer slots must not pin payload storage between
-  /// transfers (N peers × N endpoints would otherwise retain O(N²)
-  /// buffers in the simulator).
+  /// arena lease — per-(peer, content) slots must not pin payload storage
+  /// between transfers (N peers × N endpoints would otherwise retain
+  /// O(N²) buffers in the simulator).
   static void close_outbound(Outbound& out);
-  void begin_offer(PeerId peer, const CodedPacket& packet);
-  void queue_advertise(PeerId peer, const Outbound& out);
-  void queue_data(PeerId peer, const CodedPacket& packet);
-  void queue_feedback(PeerId peer, wire::MessageType type,
+  void begin_offer(PeerId peer, ContentId content, bool generationed,
+                   std::uint32_t generation, const CodedPacket& packet);
+  void queue_advertise(PeerId peer, ContentId content, const Outbound& out);
+  void queue_data(PeerId peer, ContentId content, const Outbound& out);
+  void queue_data_direct(PeerId peer, ContentId content, bool generationed,
+                         std::uint32_t generation, const CodedPacket& packet);
+  void queue_feedback(PeerId peer, ContentId content, wire::MessageType type,
                       std::uint64_t token);
-  void queue_cc(PeerId peer, const std::vector<std::uint32_t>& leaders);
+  void queue_cc(PeerId peer, ContentId content,
+                const std::vector<std::uint32_t>& leaders);
   /// Reserves the next transmit-ring slot (growing the ring cold-path
   /// only) and returns its frame for the caller to fill.
   wire::Frame& push_slot(PeerId peer);
   std::uint64_t next_feedback_token();
-  void maybe_announce_completion(PeerId data_peer);
+  void maybe_announce_completion(std::size_t content_index,
+                                 store::Content& content, PeerId data_peer);
 
   Event on_advertise(PeerId peer, std::span<const std::uint8_t> bytes);
   Event on_data(PeerId peer, std::span<const std::uint8_t> bytes);
-  Event on_feedback(PeerId peer, wire::MessageType type, std::uint64_t token);
+  Event on_generation_data(PeerId peer, std::span<const std::uint8_t> bytes);
+  Event deliver_data(PeerId peer, std::size_t content_index,
+                     store::Content& content, std::uint32_t generation);
+  Event on_feedback(PeerId peer, ContentId content, wire::MessageType type,
+                    std::uint64_t token);
   Event on_cc(PeerId peer, std::span<const std::uint8_t> bytes);
 
   EndpointConfig cfg_;
-  std::unique_ptr<NodeProtocol> protocol_;
+  std::unique_ptr<store::ContentStore> store_;
+  store::SwarmScheduler scheduler_;
   SessionStats stats_;
 
   std::vector<Peer> peers_;  ///< dense per-peer state, grown on demand
+  std::vector<Announce> announces_;      ///< parallel to store contents
+  std::vector<std::uint8_t> eligible_;   ///< next_push scratch
 
   // Transmit queue: a recycling ring of (destination, frame) slots, the
   // SimChannel discipline — capacity circulates via poll_transmit's swap
@@ -305,21 +412,17 @@ class Endpoint {
   std::size_t tx_size_ = 0;
 
   Instant now_ = 0;
+  double pace_tokens_ = 0.0;
   std::uint64_t conversation_counter_ = 0;  ///< default feedback tokens
   std::optional<std::uint64_t> pending_token_;  ///< set_feedback_token
   bool peer_completed_ = false;
   std::uint64_t completion_token_ = 0;
 
-  // Completion announcement state (receiver side of a file transfer).
-  bool completion_queued_ = false;
-  PeerId completion_peer_ = 0;
-  std::uint32_t completion_announcements_ = 0;
-  Instant completion_deadline_ = 0;
-
   // Decode scratch, reused across frames (no steady-state leases).
   CodedPacket rx_packet_;
   BitVector rx_coeffs_;
-  std::size_t rx_payload_bytes_ = 0;
+  wire::AdvertiseInfo rx_adv_{};
+  std::vector<std::uint32_t> rx_cc_;
 };
 
 }  // namespace ltnc::session

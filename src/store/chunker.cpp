@@ -1,0 +1,74 @@
+#include "store/chunker.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace ltnc::store {
+
+std::size_t chunk_count(std::size_t size_bytes, std::size_t block_bytes) {
+  LTNC_CHECK_MSG(block_bytes > 0, "block size must be positive");
+  return size_bytes == 0 ? 1 : (size_bytes + block_bytes - 1) / block_bytes;
+}
+
+std::vector<Payload> chunk_bytes(std::span<const std::uint8_t> bytes,
+                                 std::size_t block_bytes) {
+  const std::size_t blocks = chunk_count(bytes.size(), block_bytes);
+  std::vector<Payload> out;
+  out.reserve(blocks);
+  for (std::size_t i = 0; i < blocks; ++i) {
+    Payload block(block_bytes);  // zero-filled: the tail pad is free
+    const std::size_t off = i * block_bytes;
+    const std::size_t take =
+        off >= bytes.size() ? 0 : std::min(block_bytes, bytes.size() - off);
+    // Byte b of a Payload lives in word b/8 at byte lane b%8 (the layout
+    // Payload::byte() reads), endianness-independent by construction.
+    std::uint64_t* words = block.mutable_words();
+    for (std::size_t b = 0; b < take; ++b) {
+      words[b / 8] |= static_cast<std::uint64_t>(bytes[off + b])
+                      << ((b % 8) * 8);
+    }
+    out.push_back(std::move(block));
+  }
+  return out;
+}
+
+std::uint64_t hash_bytes(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+ContentConfig file_content_config(const FileContent& file) {
+  ContentConfig cfg;
+  cfg.id = file.id;
+  cfg.k = file.blocks;
+  cfg.payload_bytes = file.block_bytes;
+  return cfg;
+}
+
+FileContent describe_file(std::string name,
+                          std::span<const std::uint8_t> bytes,
+                          std::size_t block_bytes) {
+  FileContent file;
+  file.name = std::move(name);
+  file.size_bytes = bytes.size();
+  file.hash = hash_bytes(bytes);
+  file.blocks = chunk_count(bytes.size(), block_bytes);
+  file.block_bytes = block_bytes;
+  // The name participates in the id (but not in the verification hash):
+  // byte-identical files under different names get distinct contents,
+  // and renaming a file genuinely resolves a 14-bit id collision. Both
+  // ends list the same directory, so both derive the same ids.
+  const std::uint64_t name_hash = hash_bytes(
+      {reinterpret_cast<const std::uint8_t*>(file.name.data()),
+       file.name.size()});
+  file.id = derive_content_id(file.blocks, block_bytes,
+                              file.hash ^ name_hash);
+  return file;
+}
+
+}  // namespace ltnc::store

@@ -1,0 +1,237 @@
+#include "store/content_store.hpp"
+
+#include <cstdint>
+#include <utility>
+
+#include "common/check.hpp"
+#include "store/chunker.hpp"
+
+namespace ltnc::store {
+
+ContentId derive_content_id(std::size_t k, std::size_t payload_bytes,
+                            std::uint64_t content_seed) {
+  // One FNV-1a implementation serves the whole identity scheme: hash the
+  // three little-endian u64 fields with the same hash_bytes the chunker
+  // fingerprints file contents with.
+  std::uint8_t image[24];
+  const auto put = [&image](std::size_t at, std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      image[at + static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(v >> (8 * b));
+    }
+  };
+  put(0, k);
+  put(8, payload_bytes);
+  put(16, content_seed);
+  const std::uint64_t h = hash_bytes({image, sizeof(image)});
+  // Fold to 14 bits so the id's wire varint never exceeds 2 bytes, and
+  // keep 0 reserved for the default single-content session.
+  const ContentId id = (h ^ (h >> 14) ^ (h >> 28) ^ (h >> 42)) & 0x3FFF;
+  return id == 0 ? ContentId{0x3FFF} : id;
+}
+
+// --- Content ----------------------------------------------------------------
+
+Content::Content(const ContentConfig& config,
+                 std::unique_ptr<session::NodeProtocol> protocol)
+    : cfg_(config), protocol_(std::move(protocol)), gen_complete_(1) {
+  LTNC_CHECK_MSG(cfg_.k > 0, "content needs a code length");
+  LTNC_CHECK_MSG(cfg_.payload_bytes > 0, "content needs a payload size");
+  refresh_completion();
+}
+
+Content::Content(const ContentConfig& config,
+                 std::unique_ptr<core::GenerationedLtnc> generationed)
+    : cfg_(config),
+      generationed_(std::move(generationed)),
+      gen_complete_(generationed_->generations()) {
+  LTNC_CHECK_MSG(cfg_.k == generationed_->blocks_per_generation(),
+                 "content k must match the per-generation block count");
+  LTNC_CHECK_MSG(cfg_.payload_bytes > 0, "content needs a payload size");
+  refresh_completion();
+}
+
+bool Content::can_emit() const {
+  if (generationed_ != nullptr) {
+    // Emittable as soon as any generation holds material to recode from
+    // (GenerationedLtnc::recode picks the scarcest such generation).
+    for (std::size_t g = 0; g < generationed_->generations(); ++g) {
+      const core::LtncCodec& codec = generationed_->codec(g);
+      if (codec.decoded_count() + codec.stored_count() > 0) return true;
+    }
+    return false;
+  }
+  return protocol_ != nullptr && protocol_->can_emit();
+}
+
+bool Content::complete() const {
+  if (generationed_ != nullptr) return generationed_->complete();
+  return protocol_ != nullptr && protocol_->complete();
+}
+
+bool Content::would_reject(std::uint32_t generation,
+                           const BitVector& coeffs) const {
+  if (generationed_ != nullptr) {
+    if (generation >= generationed_->generations()) return true;
+    return generationed_->would_reject(generation, coeffs);
+  }
+  // Plain contents ignore the generation (the session layer has already
+  // matched frame shape to content shape); a seeder-only content vetoes
+  // everything rather than inviting a payload it would drop.
+  return protocol_ == nullptr || protocol_->would_reject(coeffs);
+}
+
+void Content::deliver(std::uint32_t generation, const CodedPacket& packet) {
+  if (generationed_ != nullptr) {
+    LTNC_CHECK_MSG(generation < generationed_->generations(),
+                   "generation id out of range");
+    generationed_->receive(core::GenerationPacket{generation, packet});
+  } else {
+    LTNC_CHECK_MSG(protocol_ != nullptr, "seeder-only content cannot absorb");
+    protocol_->deliver(packet);
+  }
+  refresh_completion();
+}
+
+std::optional<CodedPacket> Content::emit(std::uint32_t& generation, Rng& rng) {
+  if (generationed_ != nullptr) {
+    auto packet = generationed_->recode(rng);
+    if (!packet.has_value()) return std::nullopt;
+    generation = packet->generation;
+    return std::move(packet->packet);
+  }
+  generation = 0;
+  if (protocol_ == nullptr) return std::nullopt;
+  return protocol_->emit(rng);
+}
+
+double Content::fill_fraction() const {
+  const std::size_t total = total_blocks();
+  std::size_t held = 0;
+  if (generationed_ != nullptr) {
+    held = generationed_->decoded_count();
+  } else if (protocol_ != nullptr) {
+    held = protocol_->useful_packets();
+  }
+  if (held >= total) return 1.0;
+  return static_cast<double>(held) / static_cast<double>(total);
+}
+
+void Content::refresh_completion() {
+  if (generationed_ != nullptr) {
+    for (std::size_t g = 0; g < generationed_->generations(); ++g) {
+      if (!gen_complete_.test(g) && generationed_->codec(g).complete()) {
+        gen_complete_.set(g);
+      }
+    }
+    return;
+  }
+  if (protocol_ != nullptr && protocol_->complete() &&
+      !gen_complete_.test(0)) {
+    gen_complete_.set(0);
+  }
+}
+
+bool Content::finish_and_verify(std::uint64_t content_seed) {
+  if (generationed_ != nullptr) {
+    if (!generationed_->complete()) return false;
+    for (std::size_t b = 0; b < generationed_->total_blocks(); ++b) {
+      if (generationed_->block_payload(b) !=
+          Payload::deterministic(cfg_.payload_bytes, content_seed, b)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  return protocol_ != nullptr && protocol_->finish_and_verify(content_seed);
+}
+
+// --- ContentStore -----------------------------------------------------------
+
+Content& ContentStore::register_content(const ContentConfig& config) {
+  if (config.generations > 1) {
+    LTNC_CHECK_MSG(find(config.id) == nullptr, "duplicate content id");
+    core::GenerationConfig gen;
+    gen.total_blocks = config.k * config.generations;
+    gen.generations = config.generations;
+    gen.payload_bytes = config.payload_bytes;
+    gen.ltnc = config.ltnc;
+    contents_.push_back(std::make_unique<Content>(
+        config, std::make_unique<core::GenerationedLtnc>(gen)));
+    return *contents_.back();
+  }
+  session::ProtocolParams params;
+  params.k = config.k;
+  params.payload_bytes = config.payload_bytes;
+  params.aggressiveness = config.aggressiveness;
+  params.ltnc = config.ltnc;
+  params.rlnc = config.rlnc;
+  params.wc = config.wc;
+  return register_content(config,
+                          session::make_node(config.scheme, params));
+}
+
+Content& ContentStore::register_content(
+    const ContentConfig& config,
+    std::unique_ptr<session::NodeProtocol> protocol) {
+  LTNC_CHECK_MSG(find(config.id) == nullptr, "duplicate content id");
+  contents_.push_back(
+      std::make_unique<Content>(config, std::move(protocol)));
+  return *contents_.back();
+}
+
+Content* ContentStore::find(ContentId id) {
+  for (const auto& content : contents_) {
+    if (content->id() == id) return content.get();
+  }
+  return nullptr;
+}
+
+const Content* ContentStore::find(ContentId id) const {
+  return const_cast<ContentStore*>(this)->find(id);
+}
+
+std::size_t ContentStore::index_of(ContentId id) const {
+  for (std::size_t i = 0; i < contents_.size(); ++i) {
+    if (contents_[i]->id() == id) return i;
+  }
+  return contents_.size();
+}
+
+bool ContentStore::all_complete() const {
+  bool any = false;
+  for (const auto& content : contents_) {
+    if (!content->has_receiver()) continue;
+    any = true;
+    if (!content->complete()) return false;
+  }
+  return any;
+}
+
+// --- GenerationedLtSource ----------------------------------------------------
+
+GenerationedLtSource::GenerationedLtSource(const core::GenerationConfig& config,
+                                           std::uint64_t content_seed) {
+  LTNC_CHECK_MSG(config.generations >= 1, "need at least one generation");
+  LTNC_CHECK_MSG(config.total_blocks % config.generations == 0,
+                 "generations must divide the block count evenly");
+  const std::size_t per_gen = config.total_blocks / config.generations;
+  encoders_.reserve(config.generations);
+  for (std::size_t g = 0; g < config.generations; ++g) {
+    std::vector<Payload> natives;
+    natives.reserve(per_gen);
+    for (std::size_t j = 0; j < per_gen; ++j) {
+      natives.push_back(Payload::deterministic(
+          config.payload_bytes, content_seed, g * per_gen + j));
+    }
+    encoders_.emplace_back(std::move(natives), config.ltnc.soliton);
+  }
+}
+
+core::GenerationPacket GenerationedLtSource::next(Rng& rng) {
+  const auto g = static_cast<std::uint32_t>(next_generation_);
+  next_generation_ = (next_generation_ + 1) % encoders_.size();
+  return core::GenerationPacket{g, encoders_[g].encode(rng)};
+}
+
+}  // namespace ltnc::store

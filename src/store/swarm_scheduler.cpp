@@ -1,0 +1,37 @@
+#include "store/swarm_scheduler.hpp"
+
+#include "common/check.hpp"
+
+namespace ltnc::store {
+
+std::size_t SwarmScheduler::pick(const ContentStore& store,
+                                 std::span<const std::uint8_t> eligible) {
+  const std::size_t n = store.size();
+  LTNC_CHECK_MSG(eligible.size() >= n, "eligibility mask too small");
+  // Two passes from the cursor: find the minimum fill fraction, then take
+  // the first index at (near) that minimum strictly cycling from the
+  // cursor — equal-rarity contents rotate instead of index 0 winning
+  // every slot. The epsilon absorbs float noise between fractions built
+  // from the same integer counts.
+  constexpr double kTieEpsilon = 1e-12;
+  double best = 2.0;
+  bool any = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (eligible[i] == 0) continue;
+    any = true;
+    const double fill = store.at(i).fill_fraction();
+    if (fill < best) best = fill;
+  }
+  if (!any) return kNone;
+  for (std::size_t step = 1; step <= n; ++step) {
+    const std::size_t i = (cursor_ + step) % n;
+    if (eligible[i] == 0) continue;
+    if (store.at(i).fill_fraction() <= best + kTieEpsilon) {
+      cursor_ = i;
+      return i;
+    }
+  }
+  return kNone;  // unreachable: `any` guarantees a hit above
+}
+
+}  // namespace ltnc::store

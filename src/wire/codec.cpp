@@ -169,24 +169,61 @@ DecodeStatus read_sparse(Reader& r, BitVector& coeffs) {
 
 std::size_t header_size() { return 3; }  // version, type, flags
 
+/// The multiplexing flag bits introduced by wire v2.
+constexpr std::uint8_t kV2Flags = kFlagContentId | kFlagGeneration;
+
+/// Flags for a frame carrying `content` (and, for advertises, a
+/// generation); the version byte follows from whether any v2 bit is set,
+/// so default-content frames keep the exact v1 byte image.
+std::uint8_t frame_flags(std::uint8_t base, ContentId content, bool has_gen) {
+  std::uint8_t flags = base;
+  if (content != 0) flags |= kFlagContentId;
+  if (has_gen) flags |= kFlagGeneration;
+  return flags;
+}
+
 void write_header(Writer& w, MessageType type, std::uint8_t flags) {
-  w.put_u8(kProtocolVersion);
+  w.put_u8((flags & kV2Flags) != 0 ? std::uint8_t{2} : std::uint8_t{1});
   w.put_u8(static_cast<std::uint8_t>(type));
   w.put_u8(flags);
+}
+
+/// Writes header plus the optional content-id varint (the shared prefix of
+/// every v2 message body).
+void write_head(Writer& w, MessageType type, std::uint8_t flags,
+                ContentId content) {
+  write_header(w, type, flags);
+  if ((flags & kFlagContentId) != 0) w.put_varint(content);
 }
 
 DecodeStatus read_header(Reader& r, MessageType& type, std::uint8_t& flags) {
   std::uint8_t version = 0;
   std::uint8_t raw_type = 0;
   WIRE_TRY(r.get_u8(version));
-  if (version != kProtocolVersion) return DecodeStatus::kBadVersion;
+  if (version < 1 || version > kProtocolVersion) {
+    return DecodeStatus::kBadVersion;
+  }
   WIRE_TRY(r.get_u8(raw_type));
   if (raw_type < static_cast<std::uint8_t>(MessageType::kCodedPacket) ||
       raw_type > static_cast<std::uint8_t>(MessageType::kProceed)) {
     return DecodeStatus::kBadType;
   }
   WIRE_TRY(r.get_u8(flags));
+  // v1 predates the multiplexing fields: its reserved bits stay reserved,
+  // so an old frame can never alias into a content-id read.
+  if (version == 1 && (flags & kV2Flags) != 0) return DecodeStatus::kMalformed;
   type = static_cast<MessageType>(raw_type);
+  return DecodeStatus::kOk;
+}
+
+/// Reads header + optional content id, enforcing the per-type flag policy
+/// (`allowed` is the full set of bits the type may carry).
+DecodeStatus read_head(Reader& r, std::uint8_t allowed, MessageType& type,
+                       std::uint8_t& flags, ContentId& content) {
+  WIRE_TRY(read_header(r, type, flags));
+  if ((flags & ~allowed) != 0) return DecodeStatus::kMalformed;
+  content = 0;
+  if ((flags & kFlagContentId) != 0) WIRE_TRY(r.get_varint(content));
   return DecodeStatus::kOk;
 }
 
@@ -230,13 +267,11 @@ void write_packet_body(Writer& w, const CodedPacket& packet,
 }
 
 /// Reads the shared advertise prefix of a packet body: dimensions and the
-/// code vector (everything ahead of the payload span).
+/// code vector (everything ahead of the payload span). Flag validation
+/// already happened in read_head; only the encoding bit matters here.
 DecodeStatus read_coeff_prefix(Reader& r, std::uint8_t flags,
                                BitVector& coeffs, std::uint64_t& m) {
-  if ((flags & ~std::uint8_t{1}) != 0) {
-    return DecodeStatus::kMalformed;  // reserved flag bits must be zero
-  }
-  const auto enc = static_cast<CoeffEncoding>(flags & 1);
+  const auto enc = static_cast<CoeffEncoding>(flags & kFlagSparse);
   std::uint64_t k = 0;
   WIRE_TRY(r.get_varint(k));
   WIRE_TRY(r.get_varint(m));
@@ -321,19 +356,37 @@ CoeffEncoding choose_coeff_encoding(const BitVector& coeffs) {
                                      : CoeffEncoding::kDense;
 }
 
+std::size_t content_id_size(ContentId content) {
+  return content == 0 ? 0 : varint_size(content);
+}
+
 std::size_t serialized_size(const CodedPacket& packet) {
-  return header_size() +
+  return serialized_size(ContentId{0}, packet);
+}
+
+std::size_t serialized_size(ContentId content, const CodedPacket& packet) {
+  return header_size() + content_id_size(content) +
          packet_body_size(packet, choose_coeff_encoding(packet.coeffs));
 }
 
 std::size_t serialized_size_generation(std::uint32_t generation,
                                        const CodedPacket& packet) {
-  return header_size() + varint_size(generation) +
+  return serialized_size_generation(ContentId{0}, generation, packet);
+}
+
+std::size_t serialized_size_generation(ContentId content,
+                                       std::uint32_t generation,
+                                       const CodedPacket& packet) {
+  return header_size() + content_id_size(content) + varint_size(generation) +
          packet_body_size(packet, choose_coeff_encoding(packet.coeffs));
 }
 
 std::size_t serialized_size_feedback(std::uint64_t token) {
   return header_size() + varint_size(token);
+}
+
+std::size_t serialized_size_feedback(ContentId content, std::uint64_t token) {
+  return header_size() + content_id_size(content) + varint_size(token);
 }
 
 std::size_t serialized_size_cc(std::span<const std::uint32_t> leaders) {
@@ -351,44 +404,72 @@ std::size_t serialized_size_advertise(const BitVector& coeffs,
                            choose_coeff_encoding(coeffs));
 }
 
+std::size_t serialized_size_advertise(const AdvertiseInfo& info,
+                                      const BitVector& coeffs) {
+  return serialized_size_advertise(coeffs, info.payload_bytes) +
+         content_id_size(info.content) +
+         (info.has_generation ? varint_size(info.generation) : 0);
+}
+
 void serialize(const CodedPacket& packet, Frame& out) {
+  serialize(ContentId{0}, packet, out);
+}
+
+void serialize(ContentId content, const CodedPacket& packet, Frame& out) {
   const CoeffEncoding enc = choose_coeff_encoding(packet.coeffs);
-  out.resize(header_size() + packet_body_size(packet, enc));
+  out.resize(serialized_size(content, packet));
   Writer w{out.data()};
-  write_header(w, MessageType::kCodedPacket,
-               static_cast<std::uint8_t>(enc));
+  write_head(w, MessageType::kCodedPacket,
+             frame_flags(static_cast<std::uint8_t>(enc), content, false),
+             content);
   write_packet_body(w, packet, enc);
   LTNC_DCHECK(w.p == out.data() + out.size());
 }
 
 void serialize_generation(std::uint32_t generation, const CodedPacket& packet,
                           Frame& out) {
+  serialize_generation(ContentId{0}, generation, packet, out);
+}
+
+void serialize_generation(ContentId content, std::uint32_t generation,
+                          const CodedPacket& packet, Frame& out) {
   const CoeffEncoding enc = choose_coeff_encoding(packet.coeffs);
-  out.resize(header_size() + varint_size(generation) +
-             packet_body_size(packet, enc));
+  out.resize(serialized_size_generation(content, generation, packet));
   Writer w{out.data()};
-  write_header(w, MessageType::kGenerationPacket,
-               static_cast<std::uint8_t>(enc));
+  write_head(w, MessageType::kGenerationPacket,
+             frame_flags(static_cast<std::uint8_t>(enc), content, false),
+             content);
   w.put_varint(generation);
   write_packet_body(w, packet, enc);
   LTNC_DCHECK(w.p == out.data() + out.size());
 }
 
 void serialize_feedback(MessageType type, std::uint64_t token, Frame& out) {
+  serialize_feedback(ContentId{0}, type, token, out);
+}
+
+void serialize_feedback(ContentId content, MessageType type,
+                        std::uint64_t token, Frame& out) {
   LTNC_CHECK_MSG(type == MessageType::kAbort || type == MessageType::kAck ||
                      type == MessageType::kProceed,
                  "feedback frames are kAbort, kAck or kProceed");
-  out.resize(serialized_size_feedback(token));
+  out.resize(serialized_size_feedback(content, token));
   Writer w{out.data()};
-  write_header(w, type, 0);
+  write_head(w, type, frame_flags(0, content, false), content);
   w.put_varint(token);
   LTNC_DCHECK(w.p == out.data() + out.size());
 }
 
 void serialize_cc(std::span<const std::uint32_t> leaders, Frame& out) {
-  out.resize(serialized_size_cc(leaders));
+  serialize_cc(ContentId{0}, leaders, out);
+}
+
+void serialize_cc(ContentId content, std::span<const std::uint32_t> leaders,
+                  Frame& out) {
+  out.resize(serialized_size_cc(leaders) + content_id_size(content));
   Writer w{out.data()};
-  write_header(w, MessageType::kCcArray, 0);
+  write_head(w, MessageType::kCcArray, frame_flags(0, content, false),
+             content);
   w.put_varint(leaders.size());
   for (const std::uint32_t leader : leaders) w.put_varint(leader);
   LTNC_DCHECK(w.p == out.data() + out.size());
@@ -396,11 +477,22 @@ void serialize_cc(std::span<const std::uint32_t> leaders, Frame& out) {
 
 void serialize_advertise(const BitVector& coeffs, std::size_t payload_bytes,
                          Frame& out) {
+  AdvertiseInfo info;
+  info.payload_bytes = payload_bytes;
+  serialize_advertise(info, coeffs, out);
+}
+
+void serialize_advertise(const AdvertiseInfo& info, const BitVector& coeffs,
+                         Frame& out) {
   const CoeffEncoding enc = choose_coeff_encoding(coeffs);
-  out.resize(serialized_size_advertise(coeffs, payload_bytes));
+  out.resize(serialized_size_advertise(info, coeffs));
   Writer w{out.data()};
-  write_header(w, MessageType::kAdvertise, static_cast<std::uint8_t>(enc));
-  write_coeff_prefix(w, coeffs, payload_bytes, enc);
+  write_head(w, MessageType::kAdvertise,
+             frame_flags(static_cast<std::uint8_t>(enc), info.content,
+                         info.has_generation),
+             info.content);
+  if (info.has_generation) w.put_varint(info.generation);
+  write_coeff_prefix(w, coeffs, info.payload_bytes, enc);
   LTNC_DCHECK(w.p == out.data() + out.size());
 }
 
@@ -413,10 +505,16 @@ DecodeStatus peek_type(std::span<const std::uint8_t> frame,
 
 DecodeStatus deserialize(std::span<const std::uint8_t> frame,
                          CodedPacket& packet) {
+  ContentId content = 0;
+  return deserialize(frame, content, packet);
+}
+
+DecodeStatus deserialize(std::span<const std::uint8_t> frame,
+                         ContentId& content, CodedPacket& packet) {
   Reader r{frame.data(), frame.data() + frame.size()};
   MessageType type{};
   std::uint8_t flags = 0;
-  WIRE_TRY(read_header(r, type, flags));
+  WIRE_TRY(read_head(r, kFlagSparse | kFlagContentId, type, flags, content));
   if (type != MessageType::kCodedPacket) return DecodeStatus::kBadType;
   WIRE_TRY(read_packet_body(r, flags, packet));
   return finish(r);
@@ -425,10 +523,18 @@ DecodeStatus deserialize(std::span<const std::uint8_t> frame,
 DecodeStatus deserialize_generation(std::span<const std::uint8_t> frame,
                                     std::uint32_t& generation,
                                     CodedPacket& packet) {
+  ContentId content = 0;
+  return deserialize_generation(frame, content, generation, packet);
+}
+
+DecodeStatus deserialize_generation(std::span<const std::uint8_t> frame,
+                                    ContentId& content,
+                                    std::uint32_t& generation,
+                                    CodedPacket& packet) {
   Reader r{frame.data(), frame.data() + frame.size()};
   MessageType type{};
   std::uint8_t flags = 0;
-  WIRE_TRY(read_header(r, type, flags));
+  WIRE_TRY(read_head(r, kFlagSparse | kFlagContentId, type, flags, content));
   if (type != MessageType::kGenerationPacket) return DecodeStatus::kBadType;
   std::uint64_t gen = 0;
   WIRE_TRY(r.get_varint(gen));
@@ -441,14 +547,20 @@ DecodeStatus deserialize_generation(std::span<const std::uint8_t> frame,
 
 DecodeStatus deserialize_feedback(std::span<const std::uint8_t> frame,
                                   MessageType& type, std::uint64_t& token) {
+  ContentId content = 0;
+  return deserialize_feedback(frame, type, token, content);
+}
+
+DecodeStatus deserialize_feedback(std::span<const std::uint8_t> frame,
+                                  MessageType& type, std::uint64_t& token,
+                                  ContentId& content) {
   Reader r{frame.data(), frame.data() + frame.size()};
   std::uint8_t flags = 0;
-  WIRE_TRY(read_header(r, type, flags));
+  WIRE_TRY(read_head(r, kFlagContentId, type, flags, content));
   if (type != MessageType::kAbort && type != MessageType::kAck &&
       type != MessageType::kProceed) {
     return DecodeStatus::kBadType;
   }
-  if (flags != 0) return DecodeStatus::kMalformed;
   WIRE_TRY(r.get_varint(token));
   return finish(r);
 }
@@ -456,26 +568,49 @@ DecodeStatus deserialize_feedback(std::span<const std::uint8_t> frame,
 DecodeStatus deserialize_advertise(std::span<const std::uint8_t> frame,
                                    BitVector& coeffs,
                                    std::size_t& payload_bytes) {
+  AdvertiseInfo info;
+  WIRE_TRY(deserialize_advertise(frame, coeffs, info));
+  payload_bytes = info.payload_bytes;
+  return DecodeStatus::kOk;
+}
+
+DecodeStatus deserialize_advertise(std::span<const std::uint8_t> frame,
+                                   BitVector& coeffs, AdvertiseInfo& info) {
   Reader r{frame.data(), frame.data() + frame.size()};
   MessageType type{};
   std::uint8_t flags = 0;
-  WIRE_TRY(read_header(r, type, flags));
+  WIRE_TRY(read_head(r, kFlagSparse | kFlagContentId | kFlagGeneration, type,
+                     flags, info.content));
   if (type != MessageType::kAdvertise) return DecodeStatus::kBadType;
+  info.has_generation = (flags & kFlagGeneration) != 0;
+  info.generation = 0;
+  if (info.has_generation) {
+    std::uint64_t gen = 0;
+    WIRE_TRY(r.get_varint(gen));
+    if (gen > 0xFFFFFFFFULL) return DecodeStatus::kMalformed;
+    info.generation = static_cast<std::uint32_t>(gen);
+  }
   std::uint64_t m = 0;
   WIRE_TRY(read_coeff_prefix(r, flags, coeffs, m));
   WIRE_TRY(finish(r));
-  payload_bytes = static_cast<std::size_t>(m);
+  info.payload_bytes = static_cast<std::size_t>(m);
   return DecodeStatus::kOk;
 }
 
 DecodeStatus deserialize_cc(std::span<const std::uint8_t> frame,
                             std::vector<std::uint32_t>& leaders) {
+  ContentId content = 0;
+  return deserialize_cc(frame, content, leaders);
+}
+
+DecodeStatus deserialize_cc(std::span<const std::uint8_t> frame,
+                            ContentId& content,
+                            std::vector<std::uint32_t>& leaders) {
   Reader r{frame.data(), frame.data() + frame.size()};
   MessageType type{};
   std::uint8_t flags = 0;
-  WIRE_TRY(read_header(r, type, flags));
+  WIRE_TRY(read_head(r, kFlagContentId, type, flags, content));
   if (type != MessageType::kCcArray) return DecodeStatus::kBadType;
-  if (flags != 0) return DecodeStatus::kMalformed;
   std::uint64_t count = 0;
   WIRE_TRY(r.get_varint(count));
   if (count > kMaxCodeLength) return DecodeStatus::kMalformed;

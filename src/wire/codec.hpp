@@ -22,6 +22,17 @@
 //                      (the explicit form of "silence means proceed" that
 //                      unreliable transports need)
 //
+// **v2 — content multiplexing.** Every message may carry a content id so
+// one endpoint can serve many contents over the same link. The id is a
+// varint inserted immediately after the 3-byte header, present iff flags
+// bit 1 is set; an advertise may additionally carry a generation varint
+// (flags bit 2, written right after the content id) so generationed
+// contents can run the veto handshake per generation. The serializer
+// omits both fields — and stamps version 1 — whenever the content id is 0
+// and no generation is attached, so single-content traffic stays
+// byte-identical to the v1 wire image. Decoders accept version 1 (content
+// id fields rejected, mapping to the default id 0) and version 2.
+//
 // The code vector uses **adaptive encoding** — the serializer computes
 // both sizes and picks the smaller, recording the choice in flags bit 0:
 //
@@ -51,11 +62,22 @@
 #include "common/bitvector.hpp"
 #include "common/coded_packet.hpp"
 #include "common/payload.hpp"
+#include "common/types.hpp"
 #include "wire/frame.hpp"
 
 namespace ltnc::wire {
 
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Highest protocol version this build understands. The serializer stamps
+/// the *lowest* version that can express a frame (1 unless v2 fields are
+/// used), so a fleet upgrades without a flag day.
+inline constexpr std::uint8_t kProtocolVersion = 2;
+
+/// Flag bits shared by every message type. Bit 0 is the adaptive
+/// code-vector encoding on packet-shaped frames; bits 1–2 gate the v2
+/// multiplexing fields; the rest stay reserved-must-be-zero.
+inline constexpr std::uint8_t kFlagSparse = 0x01;
+inline constexpr std::uint8_t kFlagContentId = 0x02;
+inline constexpr std::uint8_t kFlagGeneration = 0x04;  ///< kAdvertise only
 
 /// Hard caps on declared dimensions: a garbage varint must not drive a
 /// multi-gigabyte allocation. Generous for any realistic deployment.
@@ -94,29 +116,69 @@ std::size_t coeff_encoded_size(const BitVector& coeffs, CoeffEncoding enc);
 /// The encoding the serializer will pick (the smaller; dense wins ties).
 CoeffEncoding choose_coeff_encoding(const BitVector& coeffs);
 
+/// Wire bytes the content-id field adds to a frame: 0 for the default
+/// content, otherwise the id's varint size (≤ 2 bytes for ids < 16384 —
+/// the range derive_content_id stays in).
+std::size_t content_id_size(ContentId content);
+
 std::size_t serialized_size(const CodedPacket& packet);
+std::size_t serialized_size(ContentId content, const CodedPacket& packet);
 std::size_t serialized_size_generation(std::uint32_t generation,
                                        const CodedPacket& packet);
+std::size_t serialized_size_generation(ContentId content,
+                                       std::uint32_t generation,
+                                       const CodedPacket& packet);
 std::size_t serialized_size_feedback(std::uint64_t token);
+std::size_t serialized_size_feedback(ContentId content, std::uint64_t token);
 std::size_t serialized_size_cc(std::span<const std::uint32_t> leaders);
 /// Always equals serialized_size({coeffs, payload}) − payload_bytes.
 std::size_t serialized_size_advertise(const BitVector& coeffs,
                                       std::size_t payload_bytes);
 
+/// The v2 advertise companion fields: which content the transfer targets
+/// and (for generationed contents) which generation the vector indexes
+/// into. Also the decode result of deserialize_advertise.
+struct AdvertiseInfo {
+  ContentId content = 0;
+  bool has_generation = false;
+  std::uint32_t generation = 0;
+  std::size_t payload_bytes = 0;
+};
+
+std::size_t serialized_size_advertise(const AdvertiseInfo& info,
+                                      const BitVector& coeffs);
+
 // -- serialization (overwrites `out`; word-span zero-copy fast paths) ------
+//
+// The ContentId-less overloads serialize the default content (id 0) and
+// stay byte-identical to the v1 codec.
 
 void serialize(const CodedPacket& packet, Frame& out);
+void serialize(ContentId content, const CodedPacket& packet, Frame& out);
 void serialize_generation(std::uint32_t generation, const CodedPacket& packet,
                           Frame& out);
+void serialize_generation(ContentId content, std::uint32_t generation,
+                          const CodedPacket& packet, Frame& out);
 /// `type` must be kAbort, kAck or kProceed.
 void serialize_feedback(MessageType type, std::uint64_t token, Frame& out);
+void serialize_feedback(ContentId content, MessageType type,
+                        std::uint64_t token, Frame& out);
 void serialize_cc(std::span<const std::uint32_t> leaders, Frame& out);
+void serialize_cc(ContentId content, std::span<const std::uint32_t> leaders,
+                  Frame& out);
 /// Serializes the advertise for a transfer of `payload_bytes` behind
 /// `coeffs` — the kCodedPacket frame with the payload span left out.
 void serialize_advertise(const BitVector& coeffs, std::size_t payload_bytes,
                          Frame& out);
+/// Multi-content advertise (info.payload_bytes is the payload to come).
+void serialize_advertise(const AdvertiseInfo& info, const BitVector& coeffs,
+                         Frame& out);
 
 // -- deserialization (hardened; never reads past `frame`) ------------------
+//
+// The ContentId-less overloads accept any frame and discard the content
+// id — the single-content call sites (simulator overhears, tests) that
+// never multiplex.
 
 /// Message type of a frame without decoding the body (kOk ⇒ `type` set and
 /// the version byte checked).
@@ -124,18 +186,32 @@ DecodeStatus peek_type(std::span<const std::uint8_t> frame, MessageType& type);
 
 DecodeStatus deserialize(std::span<const std::uint8_t> frame,
                          CodedPacket& packet);
+DecodeStatus deserialize(std::span<const std::uint8_t> frame,
+                         ContentId& content, CodedPacket& packet);
 DecodeStatus deserialize_generation(std::span<const std::uint8_t> frame,
+                                    std::uint32_t& generation,
+                                    CodedPacket& packet);
+DecodeStatus deserialize_generation(std::span<const std::uint8_t> frame,
+                                    ContentId& content,
                                     std::uint32_t& generation,
                                     CodedPacket& packet);
 /// Accepts kAbort, kAck or kProceed; reports which via `type`.
 DecodeStatus deserialize_feedback(std::span<const std::uint8_t> frame,
                                   MessageType& type, std::uint64_t& token);
+DecodeStatus deserialize_feedback(std::span<const std::uint8_t> frame,
+                                  MessageType& type, std::uint64_t& token,
+                                  ContentId& content);
 DecodeStatus deserialize_cc(std::span<const std::uint8_t> frame,
+                            std::vector<std::uint32_t>& leaders);
+DecodeStatus deserialize_cc(std::span<const std::uint8_t> frame,
+                            ContentId& content,
                             std::vector<std::uint32_t>& leaders);
 /// kOk ⇒ `coeffs` holds the advertised vector (lease reused when the
 /// width matches) and `payload_bytes` the length of the payload to come.
 DecodeStatus deserialize_advertise(std::span<const std::uint8_t> frame,
                                    BitVector& coeffs,
                                    std::size_t& payload_bytes);
+DecodeStatus deserialize_advertise(std::span<const std::uint8_t> frame,
+                                   BitVector& coeffs, AdvertiseInfo& info);
 
 }  // namespace ltnc::wire

@@ -23,6 +23,26 @@ class Frame {
   Frame() = default;
   explicit Frame(std::size_t bytes) : words_((bytes + 7) / 8), size_(bytes) {}
 
+  Frame(const Frame&) = default;
+  Frame& operator=(const Frame&) = default;
+
+  // The implicit move would null the WordBuf but leave size_ stale,
+  // breaking the size_ ≤ capacity() invariant on the moved-from frame —
+  // a later reserve() would then copy size_ bytes out of a null buffer
+  // (the transport rings recycle moved-from slots, so this is a real
+  // path, not a theoretical one).
+  Frame(Frame&& other) noexcept
+      : words_(std::move(other.words_)), size_(other.size_) {
+    other.size_ = 0;
+  }
+  Frame& operator=(Frame&& other) noexcept {
+    if (this == &other) return *this;
+    words_ = std::move(other.words_);
+    size_ = other.size_;
+    other.size_ = 0;
+    return *this;
+  }
+
   std::size_t size() const { return size_; }
   std::size_t capacity() const { return words_.size() * 8; }
   bool empty() const { return size_ == 0; }
@@ -50,6 +70,7 @@ class Frame {
   /// state) and preserves the current contents.
   void reserve(std::size_t bytes) {
     if (bytes <= capacity()) return;
+    LTNC_DCHECK(size_ <= capacity());
     WordBuf bigger((bytes + 7) / 8);
     if (size_ != 0) std::memcpy(bigger.data(), words_.data(), size_);
     words_ = std::move(bigger);

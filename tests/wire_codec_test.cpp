@@ -199,6 +199,125 @@ TEST(WireCodec, PeekTypeSeesEveryMessage) {
   EXPECT_EQ(type, MessageType::kCcArray);
 }
 
+// -- v2 content multiplexing ------------------------------------------------
+
+TEST(WireCodec, ContentIdRoundTripsOnEveryType) {
+  Rng rng(108);
+  for (const ContentId cid : {ContentId{1}, ContentId{42}, ContentId{0x3FFF},
+                              ContentId{1} << 40}) {
+    const CodedPacket original(random_coeffs(64, 5, rng),
+                               random_payload(32, rng));
+    Frame frame;
+    ContentId decoded_cid = 0;
+
+    serialize(cid, original, frame);
+    EXPECT_EQ(frame.size(), serialized_size(cid, original));
+    CodedPacket packet;
+    ASSERT_EQ(deserialize(frame.bytes(), decoded_cid, packet),
+              DecodeStatus::kOk);
+    EXPECT_EQ(decoded_cid, cid);
+    EXPECT_EQ(packet.coeffs, original.coeffs);
+
+    serialize_generation(cid, 7, original, frame);
+    std::uint32_t gen = 0;
+    ASSERT_EQ(deserialize_generation(frame.bytes(), decoded_cid, gen, packet),
+              DecodeStatus::kOk);
+    EXPECT_EQ(decoded_cid, cid);
+    EXPECT_EQ(gen, 7u);
+
+    serialize_feedback(cid, MessageType::kProceed, 99, frame);
+    MessageType type{};
+    std::uint64_t token = 0;
+    ASSERT_EQ(deserialize_feedback(frame.bytes(), type, token, decoded_cid),
+              DecodeStatus::kOk);
+    EXPECT_EQ(decoded_cid, cid);
+    EXPECT_EQ(token, 99u);
+
+    std::vector<std::uint32_t> leaders = {1, 2, 3};
+    serialize_cc(cid, leaders, frame);
+    std::vector<std::uint32_t> decoded_leaders;
+    ASSERT_EQ(deserialize_cc(frame.bytes(), decoded_cid, decoded_leaders),
+              DecodeStatus::kOk);
+    EXPECT_EQ(decoded_cid, cid);
+    EXPECT_EQ(decoded_leaders, leaders);
+  }
+}
+
+TEST(WireCodec, AdvertiseCarriesContentAndGeneration) {
+  Rng rng(109);
+  const BitVector coeffs = random_coeffs(48, 6, rng);
+  AdvertiseInfo info;
+  info.content = 321;
+  info.has_generation = true;
+  info.generation = 5;
+  info.payload_bytes = 100;
+  Frame frame;
+  serialize_advertise(info, coeffs, frame);
+  EXPECT_EQ(frame.size(), serialized_size_advertise(info, coeffs));
+
+  BitVector decoded;
+  AdvertiseInfo out;
+  ASSERT_EQ(deserialize_advertise(frame.bytes(), decoded, out),
+            DecodeStatus::kOk);
+  EXPECT_EQ(out.content, info.content);
+  EXPECT_TRUE(out.has_generation);
+  EXPECT_EQ(out.generation, info.generation);
+  EXPECT_EQ(out.payload_bytes, info.payload_bytes);
+  EXPECT_EQ(decoded, coeffs);
+}
+
+TEST(WireCodec, DefaultContentFramesAreByteIdenticalToV1) {
+  // The content-id field costs zero bytes for id 0 and the version byte
+  // stays 1, so a single-content fleet never pays for multiplexing and
+  // old decoders keep reading new senders.
+  Rng rng(110);
+  const CodedPacket packet(random_coeffs(64, 4, rng), random_payload(16, rng));
+  Frame plain;
+  Frame with_id;
+  serialize(packet, plain);
+  serialize(ContentId{0}, packet, with_id);
+  ASSERT_EQ(plain.size(), with_id.size());
+  EXPECT_EQ(plain.bytes()[0], 1u);  // v1 version byte
+  EXPECT_TRUE(std::equal(plain.bytes().begin(), plain.bytes().end(),
+                         with_id.bytes().begin()));
+}
+
+TEST(WireCodec, V2FramesDecodeAsV2AndV1FlagPolicyHolds) {
+  Rng rng(111);
+  const CodedPacket packet(random_coeffs(64, 4, rng), random_payload(16, rng));
+  Frame frame;
+  serialize(ContentId{9}, packet, frame);
+  EXPECT_EQ(frame.bytes()[0], 2u);  // v2 version byte
+
+  // A v1 frame may never set the multiplexing bits: flip the version of a
+  // v2 frame back to 1 and the decoder must reject it as malformed (the
+  // bits were reserved in v1).
+  frame.mutable_bytes()[0] = 1;
+  CodedPacket decoded;
+  ContentId cid = 0;
+  EXPECT_EQ(deserialize(frame.bytes(), cid, decoded),
+            DecodeStatus::kMalformed);
+}
+
+TEST(WireCodec, ContentIdCostIsAtMostTwoBytesForDerivedIds) {
+  // derive_content_id folds into 14 bits, so the multiplexing overhead on
+  // a Soliton-typical frame is bounded by 2 wire bytes (satellite
+  // acceptance: content-id varint ≤ 2 bytes).
+  EXPECT_EQ(content_id_size(0), 0u);
+  EXPECT_EQ(content_id_size(1), 1u);
+  EXPECT_EQ(content_id_size(127), 1u);
+  EXPECT_EQ(content_id_size(128), 2u);
+  EXPECT_EQ(content_id_size(0x3FFF), 2u);
+  Rng rng(112);
+  const CodedPacket packet(random_coeffs(1024, 8, rng),
+                           random_payload(64, rng));
+  const std::size_t base = serialized_size(packet);
+  for (const ContentId cid : {ContentId{1}, ContentId{200},
+                              ContentId{0x3FFF}}) {
+    EXPECT_LE(serialized_size(cid, packet) - base, 2u);
+  }
+}
+
 // -- adaptive code-vector encoding -----------------------------------------
 
 TEST(WireCodec, SparseBeatsDenseAtLowDegree) {
