@@ -31,7 +31,17 @@
 //   ./build/examples/file_distribution --udp-loopback-dir <dir> [bytes]
 //       The CI smoke test: ≥3 real files cross a real socket concurrently
 //       and every hash must match.
+//
+// Sharded swarm mode (the multi-core data plane):
+//   ./build/examples/file_distribution --udp-swarm-loopback
+//       [peers] [blocks] [bytes] [--shards N]
+//       One seeder socket fans the file out to `peers` receiver sockets in
+//       the same process. The seeder's session layer runs as a
+//       session::ShardedEndpoint — N worker shards behind SPSC frame
+//       rings — while the main thread only moves batches of datagrams
+//       (sendmmsg/recvmmsg) between the socket and the rings.
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -40,13 +50,16 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/table.hpp"
 #include "dissemination/simulation.hpp"
 #include "lt/lt_encoder.hpp"
 #include "net/udp_transport.hpp"
 #include "session/endpoint.hpp"
+#include "session/sharded.hpp"
 #include "store/chunker.hpp"
 #include "store/content_store.hpp"
 
@@ -555,6 +568,262 @@ int run_udp_loopback_dir(const std::string& dir, std::size_t block_bytes) {
   return sender.peer_completed_all(0) ? 0 : 1;
 }
 
+// --- sharded swarm over loopback (the multi-core data plane) ----------------
+
+/// Seeder application for the sharded endpoint: every shard owns the
+/// subset of receiver peers that hash to it, LT-encodes independently
+/// (same natives, per-shard rng) and keeps offering packets until each
+/// assigned peer acks the content complete. Both methods run on the
+/// worker threads; the per-shard state is created there too, so encoder
+/// scratch stays shard-local.
+class SwarmSeederApp final : public session::ShardApp {
+ public:
+  SwarmSeederApp(std::size_t blocks, std::size_t block_bytes,
+                 std::uint32_t num_peers, std::uint32_t num_shards)
+      : blocks_(blocks), block_bytes_(block_bytes) {
+    assigned_.resize(num_shards);
+    for (std::uint32_t p = 0; p < num_peers; ++p) {
+      assigned_[session::shard_of(p, 0, num_shards)].push_back(p);
+    }
+    state_.resize(num_shards);
+    done_ = std::make_unique<std::atomic<std::uint32_t>[]>(num_shards);
+    for (std::uint32_t s = 0; s < num_shards; ++s) done_[s].store(0);
+  }
+
+  std::unique_ptr<session::Endpoint> make_endpoint(
+      std::uint32_t shard) override {
+    auto st = std::make_unique<ShardState>(blocks_, block_bytes_, shard);
+    state_[shard] = std::move(st);  // distinct slots: no cross-shard writes
+    return std::make_unique<session::Endpoint>(
+        sender_config(blocks_, block_bytes_), nullptr);
+  }
+
+  bool pump(std::uint32_t shard, session::Endpoint& endpoint) override {
+    ShardState& st = *state_[shard];
+    bool offered = false;
+    std::uint32_t done = 0;
+    for (const session::PeerId peer : assigned_[shard]) {
+      if (endpoint.peer_completed(peer, 0)) {
+        ++done;
+        continue;
+      }
+      endpoint.offer_packet(peer, st.encoder.encode(st.rng));
+      offered = true;
+    }
+    done_[shard].store(done, std::memory_order_relaxed);
+    return offered;
+  }
+
+  /// Peers whose completion ack has reached their shard (main-thread view).
+  std::uint32_t peers_done() const {
+    std::uint32_t total = 0;
+    for (std::size_t s = 0; s < state_.size(); ++s) {
+      total += done_[s].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  std::size_t peers_assigned(std::uint32_t shard) const {
+    return assigned_[shard].size();
+  }
+
+ private:
+  struct ShardState {
+    lt::LtEncoder encoder;
+    Rng rng;
+    ShardState(std::size_t blocks, std::size_t block_bytes,
+               std::uint32_t shard)
+        : encoder(lt::make_native_payloads(blocks, block_bytes, kContentSeed)),
+          rng(1000 + shard) {}
+  };
+
+  std::size_t blocks_;
+  std::size_t block_bytes_;
+  std::vector<std::vector<session::PeerId>> assigned_;
+  std::vector<std::unique_ptr<ShardState>> state_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> done_;
+};
+
+int run_udp_swarm_loopback(std::size_t peers, std::size_t blocks,
+                           std::size_t block_bytes, std::uint32_t shards) {
+  std::string error;
+
+  // One socket per receiver peer, all on loopback.
+  std::vector<std::unique_ptr<net::UdpTransport>> rx_transports;
+  for (std::size_t p = 0; p < peers; ++p) {
+    net::UdpConfig cfg;
+    cfg.bind_address = "127.0.0.1";
+    auto transport = net::UdpTransport::open(cfg, &error);
+    if (transport == nullptr) {
+      std::cerr << "swarm: cannot open receiver socket: " << error << "\n";
+      return 1;
+    }
+    rx_transports.push_back(std::move(transport));
+  }
+
+  // The seeder's single socket; receiver p interns to PeerIndex p, which
+  // doubles as its session::PeerId everywhere below.
+  net::UdpConfig seed_cfg;
+  seed_cfg.bind_address = "127.0.0.1";
+  auto seeder = net::UdpTransport::open(seed_cfg, &error);
+  if (seeder == nullptr) {
+    std::cerr << "swarm: cannot open seeder socket: " << error << "\n";
+    return 1;
+  }
+  for (std::size_t p = 0; p < peers; ++p) {
+    const auto index =
+        seeder->add_peer("127.0.0.1", rx_transports[p]->local_port());
+    if (index != static_cast<net::UdpTransport::PeerIndex>(p)) {
+      std::cerr << "swarm: peer interning broke\n";
+      return 1;
+    }
+  }
+
+  std::cout << "swarm: seeding " << blocks << " blocks of " << block_bytes
+            << " bytes to " << peers << " receivers over " << shards
+            << " shard(s), batched I/O "
+            << (seeder->batching_active() ? "on" : "off (fallback)") << "\n";
+
+  // Receiver fleet on its own thread: plain single-threaded sink
+  // endpoints, one per socket — the peers are ordinary nodes; only the
+  // seeder is sharded.
+  std::atomic<bool> seeder_done{false};
+  std::atomic<bool> rx_failed{false};
+  std::atomic<std::uint64_t> rx_complete{0};
+  std::thread rx_thread([&] {
+    {
+      std::vector<session::Endpoint> endpoints;
+      endpoints.reserve(peers);
+      for (std::size_t p = 0; p < peers; ++p) {
+        endpoints.emplace_back(
+            receiver_config(blocks, block_bytes),
+            std::make_unique<session::LtSinkProtocol>(blocks, block_bytes));
+      }
+      std::vector<bool> locked(peers, false);  // feedback channel acquired
+      std::vector<bool> counted(peers, false);
+      wire::Frame frame;
+      UdpTally acks;
+      std::uint64_t iterations = 0;
+      while (!seeder_done.load(std::memory_order_relaxed)) {
+        bool any = false;
+        for (std::size_t p = 0; p < peers; ++p) {
+          while (rx_transports[p]->recv(frame)) {
+            endpoints[p].handle_frame(0, frame.bytes());
+            any = true;
+          }
+          if (!locked[p] && rx_transports[p]->set_peer_to_last_sender()) {
+            locked[p] = true;
+          }
+          if (locked[p]) {
+            flush(endpoints[p], *rx_transports[p], frame, acks);
+          }
+          if (!counted[p] && endpoints[p].complete()) {
+            counted[p] = true;
+            rx_complete.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        if (++iterations % 1024 == 0) {
+          for (auto& endpoint : endpoints) endpoint.tick(iterations / 1024);
+        }
+        if (!any) std::this_thread::yield();
+      }
+      for (std::size_t p = 0; p < peers; ++p) {
+        if (!endpoints[p].complete() ||
+            !endpoints[p].protocol()->finish_and_verify(kContentSeed)) {
+          std::cerr << "swarm: receiver " << p << " failed verification\n";
+          rx_failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+    WordArena::reclaim_local();  // worker-thread exit hygiene
+  });
+
+  // The seeder's I/O loop: this thread owns the socket and the ring
+  // surface; the shards do all protocol work.
+  int result = 0;
+  {
+    SwarmSeederApp app(blocks, block_bytes,
+                       static_cast<std::uint32_t>(peers), shards);
+    session::ShardedConfig cfg;
+    cfg.num_shards = shards;
+    session::ShardedEndpoint sharded(cfg, app);
+
+    constexpr std::size_t kBatch = net::UdpTransport::kMaxBatch;
+    std::vector<wire::Frame> rx_frames(kBatch);
+    std::vector<net::UdpTransport::PeerIndex> rx_peers(kBatch);
+    std::vector<wire::Frame> tx_frames(kBatch);
+    std::vector<net::UdpTransport::TxItem> tx_items(kBatch);
+    const std::uint64_t max_frames =
+        400 * blocks * peers + 100000 * peers;
+    std::uint64_t idle_spins = 0;
+    constexpr std::uint64_t kMaxIdleSpins = 200'000'000;
+
+    while (app.peers_done() < peers) {
+      bool any = false;
+
+      // Inbound: completion acks back into their conversation's shard.
+      const std::size_t received = seeder->recv_batch(rx_frames, rx_peers);
+      for (std::size_t i = 0; i < received; ++i) {
+        sharded.route_frame(rx_peers[i], rx_frames[i]);
+        any = true;
+      }
+
+      // Outbound: gather one socket batch across the shard rings. The
+      // frames stay alive in tx_frames until the syscall returns.
+      std::size_t filled = 0;
+      for (std::uint32_t s = 0; s < shards && filled < kBatch; ++s) {
+        session::PeerId dst = 0;
+        while (filled < kBatch &&
+               sharded.poll_transmit(s, dst, tx_frames[filled])) {
+          tx_items[filled] = {dst, tx_frames[filled].bytes()};
+          ++filled;
+        }
+      }
+      if (filled > 0) {
+        seeder->send_batch({tx_items.data(), filled});
+        any = true;
+      }
+
+      if (seeder->stats().frames_sent > max_frames) {
+        std::cerr << "swarm: frame budget exhausted ("
+                  << app.peers_done() << "/" << peers << " peers done, "
+                  << rx_complete.load() << " decoders complete)\n";
+        result = 1;
+        break;
+      }
+      if (!any && ++idle_spins > kMaxIdleSpins) {
+        std::cerr << "swarm: stalled (" << app.peers_done() << "/" << peers
+                  << " peers done)\n";
+        result = 1;
+        break;
+      }
+      if (any) idle_spins = 0;
+    }
+
+    seeder_done.store(true, std::memory_order_relaxed);
+    rx_thread.join();
+    sharded.stop();
+
+    const net::UdpStats& us = seeder->stats();
+    const session::SessionStats total = sharded.aggregate_stats();
+    std::cout << "swarm: " << app.peers_done() << "/" << peers
+              << " peers acked; seeder sent " << us.frames_sent
+              << " frames in " << us.send_calls << " sendmmsg calls ("
+              << us.frames_per_send_call() << " frames/call), received "
+              << us.frames_received << " acks in " << us.recv_calls
+              << " recv calls; session data_sent " << total.data_sent
+              << ", inbound ring drops " << sharded.inbound_drops() << "\n";
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      const auto& report = sharded.report(s);
+      std::cout << "swarm: shard " << s << ": " << app.peers_assigned(s)
+                << " peers, " << report.frames_out << " frames out, "
+                << report.frames_in << " acks in\n";
+    }
+    if (rx_failed.load() || app.peers_done() < peers) result = 1;
+  }
+  return result;
+}
+
 int run_swarm_comparison(std::size_t peers, std::size_t blocks,
                          std::string_view scheme_arg) {
   using session::Scheme;
@@ -622,6 +891,39 @@ int main(int argc, char** argv) {
   if (mode == "--udp-loopback") {
     return run_udp_loopback(arg_or(argc, argv, 2, 256),
                             arg_or(argc, argv, 3, 1024));
+  }
+  if (mode == "--udp-swarm-loopback") {
+    // Positional args first, then an optional --shards N anywhere.
+    std::uint32_t shards = 0;
+    std::vector<std::size_t> positional;
+    for (int i = 2; i < argc; ++i) {
+      if (std::string_view(argv[i]) == "--shards") {
+        if (i + 1 >= argc) {
+          std::cerr << "--shards needs a value\n";
+          return 2;
+        }
+        shards = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+      } else {
+        positional.push_back(
+            static_cast<std::size_t>(std::atoll(argv[i])));
+      }
+    }
+    if (shards == 0) {
+      const unsigned cores = std::thread::hardware_concurrency();
+      shards = cores > 1 ? std::min(4u, cores) : 1;
+    }
+    const std::size_t peers =
+        positional.size() > 0 ? positional[0] : 8;
+    const std::size_t blocks =
+        positional.size() > 1 ? positional[1] : 64;
+    const std::size_t bytes =
+        positional.size() > 2 ? positional[2] : 512;
+    if (peers == 0 || blocks == 0 || bytes == 0) {
+      std::cerr << "usage: file_distribution --udp-swarm-loopback [peers] "
+                   "[blocks] [bytes] [--shards N]\n";
+      return 2;
+    }
+    return run_udp_swarm_loopback(peers, blocks, bytes, shards);
   }
   if (mode == "--udp-loopback-dir") {
     if (argc < 3) {

@@ -58,11 +58,22 @@ void WordArena::trim() {
   }
 }
 
+namespace {
+// Constant-initialized TLS slot (no guard variable on the hot path).
+// Leaked on purpose for the main thread: BitVector/Payload statics may
+// release during exit teardown, after a normally-destroyed thread_local
+// would be gone. Worker threads opt into cleanup via reclaim_local().
+thread_local WordArena* tls_arena = nullptr;
+}  // namespace
+
 WordArena& WordArena::local() {
-  // Leaked on purpose: BitVector/Payload statics may release during exit
-  // teardown, after a normally-destroyed thread_local would be gone.
-  static thread_local WordArena* arena = new WordArena;
-  return *arena;
+  if (tls_arena == nullptr) tls_arena = new WordArena;
+  return *tls_arena;
+}
+
+void WordArena::reclaim_local() {
+  delete tls_arena;  // ~WordArena trims the free lists
+  tls_arena = nullptr;
 }
 
 }  // namespace ltnc

@@ -8,11 +8,21 @@
 // — run allocation-free at steady state. Blocks are 64-byte aligned for
 // the SIMD kernels and zero-filled on lease.
 //
-// The default arena is thread-local and intentionally leaked at thread
-// exit (static-destruction-order safety: a static-duration BitVector may
-// release after the arena's natural destruction point). The library is
-// single-threaded per node; a WordBuf must be released on the thread that
-// leased it.
+// The default arena is thread-local; the main thread's instance is
+// intentionally leaked at process exit (static-destruction-order safety:
+// a static-duration BitVector may release after the arena's natural
+// destruction point). The library is single-threaded per *node*: one
+// endpoint's coding state always lives on one thread. Buffers may still
+// cross threads by ownership transfer (the SPSC frame rings swap whole
+// WordBuf leases between an I/O thread and a shard worker); a buffer
+// released on a thread other than the one that leased it simply lands in
+// that thread's free lists — the block memory is plain aligned operator
+// new, so recycling and freeing it anywhere is safe. Only the per-arena
+// Stats become a *local* view then: lease/release balance holds summed
+// across the participating threads, not per thread (the threaded tests
+// assert exactly that). Worker threads that touched the arena should call
+// WordArena::reclaim_local() before exiting so their cached blocks (and
+// the arena object itself) are freed rather than leaked.
 #pragma once
 
 #include <cstddef>
@@ -55,9 +65,20 @@ class WordArena {
 
   const Stats& stats() const { return stats_; }
 
-  /// The calling thread's default arena (never destroyed — see header
-  /// comment). All BitVector/Payload storage flows through this.
+  /// The calling thread's default arena (the main thread's is never
+  /// destroyed — see header comment). All BitVector/Payload storage flows
+  /// through this.
   static WordArena& local();
+
+  /// Destroys the calling thread's default arena, freeing every cached
+  /// block — worker-thread exit hygiene, so short-lived shard threads do
+  /// not leak their recycling caches (the leak checker would flag them
+  /// once the thread's TLS is gone). Every object holding a lease from
+  /// this thread must be gone or already transferred to another thread;
+  /// a later local() call on this thread starts a fresh arena. The main
+  /// thread must not call this (its arena outlives static destructors on
+  /// purpose).
+  static void reclaim_local();
 
  private:
   /// Free-list index: words are rounded up to the next power of two so a

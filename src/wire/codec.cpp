@@ -503,6 +503,17 @@ DecodeStatus peek_type(std::span<const std::uint8_t> frame,
   return read_header(r, type, flags);
 }
 
+DecodeStatus peek_content(std::span<const std::uint8_t> frame,
+                          ContentId& content) {
+  Reader r{frame.data(), frame.data() + frame.size()};
+  MessageType type{};
+  std::uint8_t flags = 0;
+  WIRE_TRY(read_header(r, type, flags));
+  content = 0;
+  if ((flags & kFlagContentId) != 0) WIRE_TRY(r.get_varint(content));
+  return DecodeStatus::kOk;
+}
+
 DecodeStatus deserialize(std::span<const std::uint8_t> frame,
                          CodedPacket& packet) {
   ContentId content = 0;

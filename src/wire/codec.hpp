@@ -184,6 +184,15 @@ void serialize_advertise(const AdvertiseInfo& info, const BitVector& coeffs,
 /// the version byte checked).
 DecodeStatus peek_type(std::span<const std::uint8_t> frame, MessageType& type);
 
+/// Content id of a frame without decoding the body — the one read a shard
+/// router needs per datagram (the id varint sits right after the 3-byte
+/// header on every message type). kOk ⇒ `content` set, 0 when the frame
+/// carries no id field. Only the header and the id varint are validated;
+/// a frame that peeks fine can still fail its full deserialize on the
+/// shard that owns it, which is where malformed traffic is counted.
+DecodeStatus peek_content(std::span<const std::uint8_t> frame,
+                          ContentId& content);
+
 DecodeStatus deserialize(std::span<const std::uint8_t> frame,
                          CodedPacket& packet);
 DecodeStatus deserialize(std::span<const std::uint8_t> frame,

@@ -3,9 +3,11 @@
 // storage recycles through the WordArena and every codec keeps reusable
 // scratch. The test overrides the global allocation functions with
 // counting forwards (this is binary-wide but harmless: the counters are
-// only inspected here).
+// only inspected here; atomic because threaded tests elsewhere in this
+// binary allocate concurrently).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
@@ -23,10 +25,10 @@
 #include "wire/frame.hpp"
 
 namespace {
-std::uint64_t g_allocations = 0;
+std::atomic<std::uint64_t> g_allocations{0};
 
 void* counted_alloc(std::size_t size, std::size_t alignment) {
-  ++g_allocations;
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
   void* ptr = nullptr;
   if (posix_memalign(&ptr, alignment < sizeof(void*) ? sizeof(void*)
                                                      : alignment,
