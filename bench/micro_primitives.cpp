@@ -201,6 +201,18 @@ void BM_RobustSolitonSample(benchmark::State& state) {
 }
 BENCHMARK(BM_RobustSolitonSample)->Arg(512)->Arg(2048)->Arg(8192);
 
+void BM_RobustSolitonSampleLut(benchmark::State& state) {
+  // The fixed-point inverse-CDF LUT vs the alias table above: one 64-bit
+  // draw and integer compares per sample, no floating point.
+  const lt::RobustSoliton rs(static_cast<std::size_t>(state.range(0)), {},
+                             /*use_lut=*/true);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.sample(rng));
+  }
+}
+BENCHMARK(BM_RobustSolitonSampleLut)->Arg(512)->Arg(2048)->Arg(8192);
+
 void BM_FenwickAddQuery(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Fenwick<std::int64_t> f(n);

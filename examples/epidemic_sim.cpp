@@ -8,12 +8,15 @@
 //   ./build/examples/epidemic_sim --scheme=ltnc --feedback=smart
 //   ./build/examples/epidemic_sim --scheme=wc --overhear=3 --trace
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <string_view>
 
 #include "common/table.hpp"
+#include "dissemination/event_engine.hpp"
 #include "dissemination/simulation.hpp"
+#include "metrics/emitter.hpp"
 
 namespace {
 
@@ -36,6 +39,12 @@ using dissem::Scheme;
       "  --overhear=N              wireless bystanders      [0]\n"
       "  --sampler=uniform|gossip  peer sampling service    [uniform]\n"
       "  --max-rounds=R            safety cap               [120*k]\n"
+      "  --engine=lockstep|event|compat  driver             [lockstep]\n"
+      "      lockstep: the paper's every-node-every-round loop\n"
+      "      event:    discrete-event engine, active nodes only (big N)\n"
+      "      compat:   event engine pinned to the lockstep trajectory\n"
+      "  --fast-lut                fixed-point Soliton degree sampler\n"
+      "  --metrics=FILE            per-run record (.json or .csv)\n"
       "  --trace                   print the convergence trace\n";
   std::exit(0);
 }
@@ -50,6 +59,8 @@ int main(int argc, char** argv) {
   Scheme scheme = Scheme::kLtnc;
   bool trace = false;
   std::size_t max_rounds = 0;
+  std::string engine = "lockstep";
+  std::string metrics_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -84,6 +95,15 @@ int main(int argc, char** argv) {
                              : net::PeerSamplerConfig::Kind::kUniform;
     } else if (arg.rfind("--max-rounds=", 0) == 0) {
       max_rounds = std::stoul(val("--max-rounds="));
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      engine = val("--engine=");
+      if (engine != "lockstep" && engine != "event" && engine != "compat") {
+        usage();
+      }
+    } else if (arg == "--fast-lut") {
+      cfg.fast_degree_lut = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = val("--metrics=");
     } else if (arg == "--trace") {
       trace = true;
     } else {
@@ -94,8 +114,31 @@ int main(int argc, char** argv) {
 
   std::cout << "scheme=" << dissem::scheme_name(scheme)
             << " N=" << cfg.num_nodes << " k=" << cfg.k
-            << " m=" << cfg.payload_bytes << " seed=" << cfg.seed << "\n";
-  const dissem::SimResult res = dissem::run_simulation(scheme, cfg);
+            << " m=" << cfg.payload_bytes << " seed=" << cfg.seed
+            << " engine=" << engine << "\n";
+  const dissem::SimResult res =
+      engine == "lockstep"
+          ? dissem::run_simulation(scheme, cfg)
+          : dissem::run_event_simulation(scheme, cfg,
+                                         engine == "compat"
+                                             ? dissem::EngineMode::kCompat
+                                             : dissem::EngineMode::kScale);
+
+  if (!metrics_path.empty()) {
+    metrics::RunRecord record = metrics::sim_run_record(res);
+    record.set("engine", engine);
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "cannot open " << metrics_path << "\n";
+      return 1;
+    }
+    if (metrics_path.size() >= 4 &&
+        metrics_path.compare(metrics_path.size() - 4, 4, ".csv") == 0) {
+      metrics::write_csv(out, {record});
+    } else {
+      metrics::write_json(out, {record});
+    }
+  }
 
   if (trace) {
     TextTable t({"round", "complete %"});

@@ -1,5 +1,5 @@
-// Epidemic dissemination simulation (paper §IV-A) — a harness over the
-// sans-I/O session layer.
+// Epidemic dissemination simulation (paper §IV-A) — the lockstep driver
+// over SimCore.
 //
 // A content of k native packets is pushed from one source to N nodes.
 // Time advances in gossip periods; each period the source injects a few
@@ -9,12 +9,12 @@
 //
 // The protocol conversation itself — advertise the code vector, collect
 // abort/proceed (binary feedback) or a cc array (smart feedback), then
-// move the payload — lives in session::Endpoint; the simulation owns what
-// a distributed system cannot: global time, the peer sampler, fault
-// injection (loss, churn, overhearing) and the traffic ledger. Every
-// frame an endpoint emits crosses a SimChannel (serialize → transport →
-// deserialize), so byte counters are measured wire sizes and the protocol
-// state only ever sees what survived framing.
+// move the payload — lives in session::Endpoint; the fleet machinery
+// (sources, sampler, frame bus, fault injection, traffic ledger) lives in
+// SimCore. This driver is the paper's original schedule: every round,
+// every node, in a freshly shuffled order. The discrete-event driver
+// (event_engine.hpp) composes the same SimCore primitives through a timer
+// wheel instead, so only nodes with pending work pay CPU.
 //
 // Ledger conventions (unchanged from the pre-session implementation, so a
 // fixed seed reproduces the same TrafficStats byte for byte):
@@ -38,118 +38,18 @@
 #pragma once
 
 #include <cstddef>
-#include <cstdint>
-#include <memory>
-#include <optional>
-#include <vector>
 
-#include "common/op_counters.hpp"
-#include "common/rng.hpp"
 #include "common/types.hpp"
 #include "dissemination/protocols.hpp"
-#include "dissemination/sources.hpp"
-#include "net/peer_sampler.hpp"
-#include "net/sim_channel.hpp"
-#include "net/traffic.hpp"
+#include "dissemination/sim_core.hpp"
 #include "session/endpoint.hpp"
-#include "wire/frame.hpp"
 
 namespace ltnc::dissem {
 
-struct SimConfig {
-  std::size_t num_nodes = 128;
-  std::size_t k = 256;
-  std::size_t payload_bytes = 64;
-  std::uint64_t seed = 1;
-  /// Deterministic content seed (native i = Payload::deterministic(seed)).
-  std::uint64_t content_seed = 42;
-  /// Multi-content mode: M contents (wire ids 0..M−1, content c seeded
-  /// with content_seed + c) disseminate concurrently over the same
-  /// endpoints. Content c's source injections target the disjoint node
-  /// subset {n : n % M == c}; gossip then mixes every content across the
-  /// whole swarm via each endpoint's SwarmScheduler. 1 = the paper's
-  /// single-content protocol, bit-for-bit.
-  std::size_t num_contents = 1;
-  /// Fraction of k a node must hold before recoding starts (LTNC ≈ 1 %).
-  double aggressiveness = 0.01;
-  /// Packets the source injects per gossip period.
-  std::size_t source_pushes_per_round = 4;
-  /// Packets each eligible node pushes per gossip period.
-  std::size_t node_pushes_per_round = 1;
-  FeedbackMode feedback = FeedbackMode::kBinary;
-  /// Probability that a payload transfer is lost in flight (failure
-  /// injection; the header/abort exchange is assumed reliable, as with
-  /// TCP connection setup in the paper's setting).
-  double loss_rate = 0.0;
-  /// Per-round probability that one random node crashes and is replaced
-  /// by a blank node (churn injection). The replacement keeps the NodeId
-  /// but loses all coding state — like a rebooted sensor or a fresh peer
-  /// joining under the dynamic overlay of §IV-A.
-  double churn_rate = 0.0;
-  /// Wireless broadcast medium: every payload transfer is overheard by
-  /// this many random bystanders, who keep it if innovative for them
-  /// (§III-C.2 points at COPE-style snooping; §VI calls the broadcast
-  /// medium "especially attractive"). 0 = wired unicast (paper's §IV).
-  std::size_t overhear_count = 0;
-  net::PeerSamplerConfig sampler{};
-  std::size_t max_rounds = 200000;
-  /// Stop early once every node is complete (always sensible; switchable
-  /// for soak tests).
-  bool stop_when_complete = true;
-  /// Verify decoded content against the deterministic ground truth at the
-  /// end (includes RLNC's final back-substitution in its decode cost).
-  bool verify_payloads = true;
-  core::LtncConfig ltnc{};
-  rlnc::RlncConfig rlnc{};
-  wc::WcConfig wc{};
-};
-
-struct SimResult {
-  Scheme scheme{};
-  SimConfig config{};
-  std::size_t rounds_run = 0;
-  std::size_t nodes_complete = 0;
-  std::size_t nodes_churned = 0;
-  bool all_complete = false;
-  bool payloads_verified = true;
-
-  /// Round at which each node completed (max_rounds + 1 when it did not).
-  std::vector<std::size_t> completion_round;
-  /// Fraction of complete nodes at the end of each round (Fig. 7a).
-  std::vector<double> convergence_trace;
-  /// Payload receptions per node (accepted transfers).
-  std::vector<std::uint64_t> payload_receptions;
-
-  net::TrafficStats traffic;
-  /// Per-content ledger breakdown (index = content id). Size num_contents;
-  /// sums to `traffic` field-for-field.
-  std::vector<net::TrafficStats> per_content;
-  /// Session-layer event counters summed over the node endpoints (the
-  /// source endpoint excluded) — advertises, vetoes, duplicates, ….
-  session::SessionStats sessions;
-  std::uint64_t overheard_useful = 0;  ///< snooped packets kept by bystanders
-  OpCounters decode_ops;  ///< summed over nodes
-  OpCounters recode_ops;  ///< summed over nodes
-
-  // Scheme-specific snapshots (populated for LTNC runs).
-  core::LtncStats ltnc_stats{};
-  core::DegreePickStats ltnc_degree_stats{};
-  core::BuildStats ltnc_build_stats{};
-  double ltnc_occurrence_rel_stddev = 0.0;
-  std::uint64_t ltnc_redundancy_checks = 0;
-  std::uint64_t ltnc_redundancy_hits = 0;
-
-  /// Mean completion round over completed nodes.
-  double mean_completion() const;
-  /// Mean payload receptions beyond the k strictly necessary, relative to
-  /// k — the paper's communication overhead (Fig. 7c). Counted over
-  /// completed nodes.
-  double overhead() const;
-};
-
 class EpidemicSimulation {
  public:
-  EpidemicSimulation(Scheme scheme, const SimConfig& config);
+  EpidemicSimulation(Scheme scheme, const SimConfig& config)
+      : core_(scheme, config) {}
 
   /// Runs to completion (or max_rounds) and returns the collected result.
   SimResult run();
@@ -157,71 +57,20 @@ class EpidemicSimulation {
   /// Runs a single gossip period (exposed for incremental tests).
   void step();
 
-  std::size_t round() const { return round_; }
-  std::size_t nodes_complete() const { return complete_count_; }
-  bool all_complete() const { return complete_count_ == endpoints_.size(); }
+  std::size_t round() const { return core_.round(); }
+  std::size_t nodes_complete() const { return core_.complete_count(); }
+  bool all_complete() const { return core_.all_complete(); }
+  /// Accessors materialize flyweight nodes on demand — logically const
+  /// (a blank endpoint is indistinguishable from a never-built one).
   const NodeProtocol& node(NodeId id) const {
-    return *endpoints_[id]->protocol();
+    return *const_cast<SimCore&>(core_).endpoint(id).protocol();
   }
   const session::Endpoint& endpoint(NodeId id) const {
-    return *endpoints_[id];
+    return const_cast<SimCore&>(core_).endpoint(id);
   }
 
  private:
-  /// Runs one full transfer conversation of `content` from `sender`
-  /// (addressed by the receiver as `sender_peer`) toward `target`,
-  /// shuttling every frame across the SimChannel bus. Returns true if the
-  /// payload was delivered.
-  bool run_transfer(session::Endpoint& sender, NodeId sender_peer,
-                    NodeId target, ContentId content);
-  /// Pops the sender's next frame, sends it across the bus and receives
-  /// it back into frame_ (the codec round-trip every message pays).
-  void route_frame(session::Endpoint& from, NodeId expected_dst);
-  void node_push(NodeId sender);
-  void after_transfer(NodeId target);
-  void deliver_overhears(NodeId target);
-  SimResult finalise();
-
-  /// The source's PeerId as the nodes see it: one past the last node, so
-  /// per-peer state stays dense.
-  NodeId source_peer_id() const { return static_cast<NodeId>(cfg_.num_nodes); }
-
-  Scheme scheme_;
-  SimConfig cfg_;
-  Rng rng_;
-  /// One textbook encoder per content (index = content id).
-  std::vector<std::unique_ptr<Source>> sources_;
-  /// The source's session endpoint: protocol-less, it offers the packets
-  /// the sources encode and runs the same handshake as everyone else.
-  std::unique_ptr<session::Endpoint> source_endpoint_;
-  std::vector<std::unique_ptr<session::Endpoint>> endpoints_;
-  std::unique_ptr<net::PeerSampler> sampler_;
-  /// The frame bus: one fault-free SimChannel every frame of every
-  /// conversation crosses (FIFO, so the lockstep conversation pops what
-  /// it just pushed). Fault injection stays with the harness, which
-  /// owns the global RNG: the paper's loss model drops payload frames
-  /// after the (reliable) feedback exchange, not uniformly.
-  net::SimChannel bus_;
-  std::vector<NodeId> schedule_;  ///< node visit order, reshuffled per round
-
-  void churn_one_node();
-  ProtocolParams protocol_params() const;
-  session::EndpointConfig endpoint_config() const;
-  std::unique_ptr<session::Endpoint> make_endpoint();
-
-  wire::Frame frame_;      ///< the frame currently crossing the bus
-  CodedPacket rx_packet_;  ///< overhear scratch (deserialized data frame)
-  std::uint64_t transfer_seq_ = 0;
-  std::vector<net::TrafficStats> traffic_per_content_;
-
-  std::size_t round_ = 0;
-  std::size_t complete_count_ = 0;
-  std::size_t churned_count_ = 0;
-  std::uint64_t overheard_useful_ = 0;
-  std::vector<std::size_t> completion_round_;
-  std::vector<std::uint64_t> payload_receptions_;
-  std::vector<double> convergence_trace_;
-  net::TrafficStats traffic_;
+  SimCore core_;
 };
 
 /// Convenience: configure + run in one call.

@@ -7,8 +7,8 @@
 namespace ltnc::dissem {
 
 LtSource::LtSource(std::vector<Payload> natives,
-                   lt::RobustSolitonParams params)
-    : encoder_(std::move(natives), params) {}
+                   lt::RobustSolitonParams params, bool use_lut)
+    : encoder_(std::move(natives), params, use_lut) {}
 
 RlncSource::RlncSource(std::vector<Payload> natives)
     : natives_(std::move(natives)),
@@ -54,11 +54,13 @@ CodedPacket WcSource::next(Rng& rng) {
 std::unique_ptr<Source> make_source(Scheme scheme, std::size_t k,
                                     std::size_t payload_bytes,
                                     std::uint64_t content_seed,
-                                    const lt::RobustSolitonParams& soliton) {
+                                    const lt::RobustSolitonParams& soliton,
+                                    bool fast_degree_lut) {
   auto natives = lt::make_native_payloads(k, payload_bytes, content_seed);
   switch (scheme) {
     case Scheme::kLtnc:
-      return std::make_unique<LtSource>(std::move(natives), soliton);
+      return std::make_unique<LtSource>(std::move(natives), soliton,
+                                        fast_degree_lut);
     case Scheme::kRlnc:
       return std::make_unique<RlncSource>(std::move(natives));
     case Scheme::kWc:

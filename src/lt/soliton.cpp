@@ -39,12 +39,50 @@ std::vector<double> robust_soliton_weights(std::size_t k,
   return w;
 }
 
-RobustSoliton::RobustSoliton(std::size_t k, RobustSolitonParams params)
+DegreeLut::DegreeLut(const std::vector<double>& weights) {
+  LTNC_CHECK_MSG(!weights.empty(), "degree LUT needs weights");
+  double total = 0.0;
+  for (double w : weights) {
+    LTNC_CHECK_MSG(w >= 0.0, "degree weights must be non-negative");
+    total += w;
+  }
+  LTNC_CHECK_MSG(total > 0.0, "degree weights must not all be zero");
+
+  // Fixed-point CDF: cdf_[i] = round(P(deg ≤ i+1) · 2⁶⁴), saturating the
+  // final entry at 2⁶⁴−1 so the sampler's forward walk cannot run off
+  // the end for any 64-bit draw.
+  cdf_.resize(weights.size());
+  double cum = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cum += weights[i] / total;
+    const double scaled = std::ldexp(std::min(cum, 1.0), 64);
+    cdf_[i] = scaled >= 0x1p64 ? ~std::uint64_t{0}
+                               : static_cast<std::uint64_t>(scaled);
+  }
+  cdf_.back() = ~std::uint64_t{0};
+
+  // Bucket table: entry t points at the first degree whose CDF exceeds
+  // the bucket's lower bound, so every draw starts its walk at most one
+  // bucket-width of probability away from its answer.
+  start_.resize(kEntries);
+  std::size_t d = 0;
+  for (std::size_t t = 0; t < kEntries; ++t) {
+    const std::uint64_t lower = static_cast<std::uint64_t>(t)
+                                << (64 - kTableBits);
+    while (d + 1 < cdf_.size() && cdf_[d] <= lower) ++d;
+    start_[t] = static_cast<std::uint32_t>(d);
+  }
+}
+
+RobustSoliton::RobustSoliton(std::size_t k, RobustSolitonParams params,
+                             bool use_lut)
     : k_(k),
       params_(params),
       ripple_(params.c * std::log(static_cast<double>(k) / params.delta) *
               std::sqrt(static_cast<double>(k))),
-      dist_(robust_soliton_weights(k, params)) {}
+      dist_(robust_soliton_weights(k, params)) {
+  if (use_lut) lut_ = DegreeLut(robust_soliton_weights(k, params));
+}
 
 double RobustSoliton::mean_degree() const {
   double mean = 0.0;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/discrete_distribution.hpp"
@@ -33,16 +34,70 @@ struct RobustSolitonParams {
 std::vector<double> robust_soliton_weights(std::size_t k,
                                            const RobustSolitonParams& params);
 
+/// Fixed-point inverse-CDF degree sampler (the pyrofling lt_lut shape):
+/// one 64-bit draw, integer compares only, no floating point at sample
+/// time. The top kTableBits of the draw index a table holding the first
+/// candidate degree for that CDF bucket; a short forward walk over the
+/// fixed-point CDF finishes the inversion (expected O(1): buckets are
+/// finer than the distribution's mass almost everywhere).
+///
+/// The sampler is *distribution*-equivalent to DiscreteDistribution over
+/// the same weights (each degree's probability matches to within 2⁻⁶⁴
+/// rounding) but draw-sequence different — one next() per sample instead
+/// of the alias method's draws — so it is an explicit opt-in: golden
+/// seeded runs keep the alias path.
+class DegreeLut {
+ public:
+  static constexpr std::size_t kTableBits = 12;
+  static constexpr std::size_t kEntries = std::size_t{1} << kTableBits;
+
+  DegreeLut() = default;
+  /// Builds from unnormalised non-negative weights, indexed by degree−1.
+  explicit DegreeLut(const std::vector<double>& weights);
+
+  bool empty() const { return cdf_.empty(); }
+  std::size_t k() const { return cdf_.size(); }
+
+  /// Draws a degree in [1, k] — exactly one rng.next().
+  std::size_t sample(Rng& rng) const {
+    const std::uint64_t u = rng.next();
+    std::size_t d = start_[u >> (64 - kTableBits)];
+    while (d + 1 < cdf_.size() && u >= cdf_[d]) ++d;
+    return d + 1;
+  }
+
+  /// Fixed-point probability mass of degree d ∈ [1, k] (numerator of
+  /// x/2⁶⁴) — the equivalence test compares this against the weights
+  /// exactly. The top degree's mass is one ulp short: the CDF saturates
+  /// at 2⁶⁴−1.
+  std::uint64_t mass(std::size_t d) const {
+    const std::uint64_t hi = cdf_[d - 1];
+    const std::uint64_t lo = d >= 2 ? cdf_[d - 2] : 0;
+    return hi - lo;
+  }
+
+ private:
+  std::vector<std::uint64_t> cdf_;    ///< cdf_[i] ≈ P(deg ≤ i+1)·2⁶⁴
+  std::vector<std::uint32_t> start_;  ///< bucket → first candidate index
+};
+
 /// Sampler for packet degrees following the Robust Soliton distribution.
 class RobustSoliton {
  public:
-  explicit RobustSoliton(std::size_t k, RobustSolitonParams params = {});
+  /// `use_lut` switches sample() to the fixed-point DegreeLut — same
+  /// distribution, different (and cheaper) draw sequence. Keep it off
+  /// wherever a seed pins an exact trajectory.
+  explicit RobustSoliton(std::size_t k, RobustSolitonParams params = {},
+                         bool use_lut = false);
 
   std::size_t k() const { return k_; }
   const RobustSolitonParams& params() const { return params_; }
+  bool uses_lut() const { return !lut_.empty(); }
 
   /// Draws a degree in [1, k].
-  std::size_t sample(Rng& rng) const { return dist_.sample(rng) + 1; }
+  std::size_t sample(Rng& rng) const {
+    return lut_.empty() ? dist_.sample(rng) + 1 : lut_.sample(rng);
+  }
 
   /// P(degree = d).
   double probability(std::size_t d) const {
@@ -61,6 +116,7 @@ class RobustSoliton {
   RobustSolitonParams params_;
   double ripple_;
   DiscreteDistribution dist_;
+  DegreeLut lut_;  ///< empty unless use_lut was requested
 };
 
 }  // namespace ltnc::lt

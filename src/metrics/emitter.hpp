@@ -1,0 +1,59 @@
+// Structured per-run metrics records, emitted as JSON or CSV.
+//
+// Every experiment driver used to hand-roll its own JSON writer; the
+// scaling benches (bench/sim_events) and the simulator CLI need the same
+// per-run schema, so the format lives here once. A RunRecord is a flat,
+// ordered list of typed fields — insertion order is presentation order,
+// so emitted files diff cleanly run-over-run. A list of records with
+// identical field layouts becomes either a JSON array of objects
+// (machine-diffable, bench/diff_bench.py's input) or a CSV table with a
+// header row (spreadsheet/pandas fodder).
+//
+// `sim_run_record` maps a SimResult onto the standard schema shared by
+// the lockstep and event drivers; drivers append their own columns
+// (events/sec, peak RSS, …) after it.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "dissemination/sim_core.hpp"
+
+namespace ltnc::metrics {
+
+class RunRecord {
+ public:
+  using Value = std::variant<std::uint64_t, std::int64_t, double, bool,
+                             std::string>;
+  struct Field {
+    std::string key;
+    Value value;
+  };
+
+  /// Appends (or overwrites, keeping position) a field.
+  void set(std::string_view key, Value value);
+  bool has(std::string_view key) const;
+  const Value& at(std::string_view key) const;  ///< throws if absent
+  const std::vector<Field>& fields() const { return fields_; }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// The standard per-run columns every simulation driver shares: scheme,
+/// config shape, rounds, completion, the full traffic ledger.
+RunRecord sim_run_record(const dissem::SimResult& result);
+
+/// JSON array of objects, one per record; stable key order; doubles
+/// round-trip (max_digits10), strings escaped.
+void write_json(std::ostream& out, const std::vector<RunRecord>& records);
+
+/// CSV with a header row taken from the first record. All records must
+/// share the first record's field layout (checked).
+void write_csv(std::ostream& out, const std::vector<RunRecord>& records);
+
+}  // namespace ltnc::metrics

@@ -53,9 +53,133 @@ bool Endpoint::can_push() const {
   return false;
 }
 
+// --- sparse peer table -----------------------------------------------------
+//
+// Linear-probed power-of-two hash (SplitMix64 finalizer — PeerIds are
+// often sequential, so the raw id is a terrible bucket key) mapping a
+// PeerId to its slot in the dense first-contact-order `peers_` vector.
+// Deletion uses backward-shift so probe chains never accumulate
+// tombstones across a long reclaim-heavy run.
+
+namespace {
+
+std::size_t hash_peer(PeerId peer) {
+  std::uint64_t x = static_cast<std::uint64_t>(peer) + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<std::size_t>(x ^ (x >> 31));
+}
+
+}  // namespace
+
+std::uint32_t Endpoint::find_slot(PeerId peer) const {
+  if (slot_of_.empty()) return kNoSlot;
+  std::size_t i = hash_peer(peer) & index_mask_;
+  while (slot_of_[i] != kNoSlot) {
+    if (peers_[slot_of_[i]].id == peer) return slot_of_[i];
+    i = (i + 1) & index_mask_;
+  }
+  return kNoSlot;
+}
+
+Endpoint::Peer* Endpoint::find_peer(PeerId peer) {
+  const std::uint32_t slot = find_slot(peer);
+  return slot == kNoSlot ? nullptr : &peers_[slot];
+}
+
+const Endpoint::Peer* Endpoint::find_peer(PeerId peer) const {
+  const std::uint32_t slot = find_slot(peer);
+  return slot == kNoSlot ? nullptr : &peers_[slot];
+}
+
+void Endpoint::index_insert(PeerId peer, std::uint32_t slot) {
+  std::size_t i = hash_peer(peer) & index_mask_;
+  while (slot_of_[i] != kNoSlot) i = (i + 1) & index_mask_;
+  slot_of_[i] = slot;
+}
+
+void Endpoint::index_erase(PeerId peer) {
+  std::size_t i = hash_peer(peer) & index_mask_;
+  while (true) {
+    if (slot_of_[i] == kNoSlot) return;  // not indexed
+    if (peers_[slot_of_[i]].id == peer) break;
+    i = (i + 1) & index_mask_;
+  }
+  // Backward shift: pull every displaced successor whose home bucket lies
+  // at or before the hole, keeping all probe chains gap-free.
+  std::size_t hole = i;
+  std::size_t j = (hole + 1) & index_mask_;
+  while (slot_of_[j] != kNoSlot) {
+    const std::size_t home = hash_peer(peers_[slot_of_[j]].id) & index_mask_;
+    if (((j - home) & index_mask_) >= ((j - hole) & index_mask_)) {
+      slot_of_[hole] = slot_of_[j];
+      hole = j;
+    }
+    j = (j + 1) & index_mask_;
+  }
+  slot_of_[hole] = kNoSlot;
+}
+
+void Endpoint::index_rebind(PeerId peer, std::uint32_t from,
+                            std::uint32_t to) {
+  // `peer` is indexed, and its probe chain from home is gap-free, so the
+  // bucket holding `from` is always reachable.
+  std::size_t i = hash_peer(peer) & index_mask_;
+  while (slot_of_[i] != from) i = (i + 1) & index_mask_;
+  slot_of_[i] = to;
+}
+
+void Endpoint::rehash_index(std::size_t buckets) {
+  slot_of_.assign(buckets, kNoSlot);
+  index_mask_ = buckets - 1;
+  for (std::uint32_t slot = 0; slot < peers_.size(); ++slot) {
+    index_insert(peers_[slot].id, slot);
+  }
+}
+
 Endpoint::Peer& Endpoint::peer_state(PeerId peer) {
-  if (peer >= peers_.size()) peers_.resize(static_cast<std::size_t>(peer) + 1);
-  return peers_[peer];
+  if (Peer* p = find_peer(peer)) return *p;
+  // Grow at 3/4 load so probe chains stay short.
+  if (slot_of_.empty() || (peers_.size() + 1) * 4 > slot_of_.size() * 3) {
+    rehash_index(std::max<std::size_t>(16, slot_of_.size() * 2));
+  }
+  const auto slot = static_cast<std::uint32_t>(peers_.size());
+  peers_.emplace_back();
+  peers_.back().id = peer;
+  index_insert(peer, slot);
+  return peers_.back();
+}
+
+void Endpoint::remove_peer_slot(std::uint32_t slot) {
+  index_erase(peers_[slot].id);
+  const auto last = static_cast<std::uint32_t>(peers_.size() - 1);
+  if (slot != last) {
+    // Swap-remove, then repoint the moved peer's index bucket at its new
+    // slot (first-contact order is a courtesy, not a contract — nothing
+    // keyed on it survives a reclaim).
+    peers_[slot] = std::move(peers_[last]);
+    index_rebind(peers_[slot].id, last, slot);
+  }
+  peers_.pop_back();
+}
+
+bool Endpoint::reclaim_idle_convo(PeerId peer, ContentId content) {
+  const std::uint32_t slot = find_slot(peer);
+  if (slot == kNoSlot) return false;
+  Peer& p = peers_[slot];
+  for (std::size_t i = 0; i < p.convos.size(); ++i) {
+    Convo& cv = p.convos[i];
+    if (cv.content != content) continue;
+    if (cv.out.state != Outbound::State::kIdle || cv.in.awaiting_data ||
+        cv.cc_fresh || cv.peer_done) {
+      return false;  // live state — the slot stays
+    }
+    if (i + 1 != p.convos.size()) cv = std::move(p.convos.back());
+    p.convos.pop_back();
+    if (p.convos.empty()) remove_peer_slot(slot);
+    return true;
+  }
+  return false;
 }
 
 Endpoint::Convo& Endpoint::convo(PeerId peer, ContentId content) {
@@ -69,8 +193,9 @@ Endpoint::Convo& Endpoint::convo(PeerId peer, ContentId content) {
 }
 
 Endpoint::Convo* Endpoint::find_convo(PeerId peer, ContentId content) {
-  if (peer >= peers_.size()) return nullptr;
-  for (Convo& cv : peers_[peer].convos) {
+  Peer* p = find_peer(peer);
+  if (p == nullptr) return nullptr;
+  for (Convo& cv : p->convos) {
     if (cv.content == content) return &cv;
   }
   return nullptr;
@@ -562,14 +687,14 @@ void Endpoint::tick(Instant now) {
                            static_cast<double>(now - now_));
   }
   now_ = now;
-  for (PeerId peer = 0; peer < peers_.size(); ++peer) {
-    for (Convo& cv : peers_[peer].convos) {
+  for (Peer& p : peers_) {
+    for (Convo& cv : p.convos) {
       if (cv.out.state == Outbound::State::kAwaitFeedback &&
           now >= cv.out.deadline) {
         if (cv.out.retries < cfg_.max_retries) {
           ++cv.out.retries;
           cv.out.deadline = now + cfg_.response_timeout;
-          queue_advertise(peer, cv.content, cv.out);
+          queue_advertise(p.id, cv.content, cv.out);
           ++stats_.advertise_retransmits;
         } else {
           close_outbound(cv.out);

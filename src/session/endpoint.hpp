@@ -289,6 +289,20 @@ class Endpoint {
   /// stop signal.)
   bool peer_completed_all(PeerId peer) const;
 
+  /// Number of peers this endpoint holds conversation state for. Memory
+  /// scales with this, not with the PeerId address space — the flyweight
+  /// property the event simulator's fleet accounting leans on.
+  std::size_t contacted_peers() const { return peers_.size(); }
+
+  /// Drops the (peer, content) conversation slot if it carries no live
+  /// state — no transfer awaiting feedback, no accepted advertise waiting
+  /// for data, no unconsumed cc cache, no completion knowledge — and
+  /// releases the peer's whole table entry once its last conversation
+  /// goes. Returns true when something was reclaimed. The event engine
+  /// calls this after fire-and-forget pushes so a long scale run's
+  /// source endpoint doesn't accrete a slot per node it ever touched.
+  bool reclaim_idle_convo(PeerId peer, ContentId content);
+
   /// Token stamped into the *next* abort/proceed answer instead of the
   /// endpoint's own conversation counter. An orchestrator driving many
   /// endpoints (the epidemic simulator) uses this to impose its global
@@ -344,6 +358,7 @@ class Endpoint {
   };
 
   struct Peer {
+    PeerId id = 0;              ///< owning peer (slots are not id-indexed)
     std::vector<Convo> convos;  ///< tiny; linear scan by content id
   };
 
@@ -357,6 +372,16 @@ class Endpoint {
   };
 
   Peer& peer_state(PeerId peer);
+  Peer* find_peer(PeerId peer);
+  const Peer* find_peer(PeerId peer) const;
+  /// Open-addressed index plumbing: peers live in `peers_` in
+  /// first-contact order; `slot_of_` maps a hashed PeerId to its slot.
+  std::uint32_t find_slot(PeerId peer) const;
+  void index_insert(PeerId peer, std::uint32_t slot);
+  void index_erase(PeerId peer);
+  void index_rebind(PeerId peer, std::uint32_t from, std::uint32_t to);
+  void rehash_index(std::size_t buckets);
+  void remove_peer_slot(std::uint32_t slot);
   Convo& convo(PeerId peer, ContentId content);
   Convo* find_convo(PeerId peer, ContentId content);
   const Convo* find_convo(PeerId peer, ContentId content) const;
@@ -396,7 +421,16 @@ class Endpoint {
   store::SwarmScheduler scheduler_;
   SessionStats stats_;
 
-  std::vector<Peer> peers_;  ///< dense per-peer state, grown on demand
+  // Per-peer state, sparse by construction: slots hold only peers this
+  // endpoint has actually conversed with, in first-contact order, found
+  // through an open-addressed hash over the PeerId space. A fleet node
+  // that addresses the source as peer id = num_nodes therefore costs one
+  // slot, not a num_nodes-long dense table — the difference between
+  // O(contacts) and O(n²) memory across a million-node simulation.
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+  std::vector<Peer> peers_;              ///< dense, first-contact order
+  std::vector<std::uint32_t> slot_of_;   ///< open-addressed PeerId index
+  std::size_t index_mask_ = 0;           ///< slot_of_.size() - 1 (pow 2)
   std::vector<Announce> announces_;      ///< parallel to store contents
   std::vector<std::uint8_t> eligible_;   ///< next_push scratch
 

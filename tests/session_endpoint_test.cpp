@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -450,6 +451,118 @@ TEST(SessionEndpoint, MtuOverflowNeverWedgesTheEndpoint) {
   EXPECT_EQ(receiver.stats().data_delivered, 0u);  // nothing ever fit
   EXPECT_FALSE(receiver.complete());
   EXPECT_LE(sender.pending_transmit(), 1u);  // bounded, not accumulating
+}
+
+// --- sparse peer table ------------------------------------------------------
+
+TEST(SessionEndpoint, PeerTableIsSparseInThePeerIdSpace) {
+  // A single conversation with a stratospheric PeerId must cost one slot,
+  // not a dense table sized to the id — the event simulator addresses
+  // the source as peer id = num_nodes, so a dense table would be O(n)
+  // per node and O(n²) fleet-wide.
+  lt::LtEncoder source(lt::make_native_payloads(kK, kM, kContentSeed));
+  Endpoint sender(config(), nullptr);
+  Rng rng(5);
+  EXPECT_EQ(sender.contacted_peers(), 0u);
+  sender.offer_packet(1'000'000'000u, source.encode(rng));
+  sender.offer_packet(3u, source.encode(rng));
+  sender.offer_packet(1'000'000'000u, source.encode(rng));
+  EXPECT_EQ(sender.contacted_peers(), 2u);
+}
+
+TEST(SessionEndpoint, PeerTableSurvivesGrowthAcrossManyPeers) {
+  // Push past several rehash boundaries and verify every conversation is
+  // still found (a feedback token binds only via find_convo).
+  lt::LtEncoder source(lt::make_native_payloads(kK, kM, kContentSeed));
+  EndpointConfig cfg = config(FeedbackMode::kNone);
+  Endpoint sender(cfg, nullptr);
+  Rng rng(6);
+  constexpr std::uint32_t kFleet = 300;
+  for (std::uint32_t i = 0; i < kFleet; ++i) {
+    sender.offer_packet(i * 7919u, source.encode(rng));  // scattered ids
+  }
+  EXPECT_EQ(sender.contacted_peers(), static_cast<std::size_t>(kFleet));
+  // Re-offering to every peer reuses the existing slots.
+  for (std::uint32_t i = 0; i < kFleet; ++i) {
+    sender.offer_packet(i * 7919u, source.encode(rng));
+  }
+  EXPECT_EQ(sender.contacted_peers(), static_cast<std::size_t>(kFleet));
+}
+
+TEST(SessionEndpoint, ReclaimDropsIdleConversationsOnly) {
+  lt::LtEncoder source(lt::make_native_payloads(kK, kM, kContentSeed));
+  Endpoint sender(config(), nullptr);
+  Rng rng(7);
+
+  // An offer awaiting feedback is live state — reclaim must refuse.
+  sender.offer_packet(9, source.encode(rng));
+  EXPECT_FALSE(sender.reclaim_idle_convo(9, 0));
+  EXPECT_EQ(sender.contacted_peers(), 1u);
+
+  // Abort the transfer: the conversation goes idle and reclaim takes the
+  // slot (and with it the peer's whole table entry).
+  PeerId dst = 0;
+  wire::Frame frame;
+  ASSERT_TRUE(sender.poll_transmit(dst, frame));
+  wire::Frame abort_frame;
+  wire::serialize_feedback(0, wire::MessageType::kAbort, 0, abort_frame);
+  EXPECT_EQ(sender.handle_frame(9, abort_frame.bytes()),
+            Event::kAbortReceived);
+  EXPECT_TRUE(sender.reclaim_idle_convo(9, 0));
+  EXPECT_EQ(sender.contacted_peers(), 0u);
+  EXPECT_FALSE(sender.reclaim_idle_convo(9, 0));  // nothing left
+
+  // The peer can come back after a reclaim — a fresh slot is minted.
+  sender.offer_packet(9, source.encode(rng));
+  EXPECT_EQ(sender.contacted_peers(), 1u);
+}
+
+TEST(SessionEndpoint, ReclaimKeepsCompletionKnowledge) {
+  // peer_done is durable protocol knowledge (the multi-file sender's stop
+  // signal); a reclaim sweep must never forget it.
+  lt::LtEncoder source(lt::make_native_payloads(kK, kM, kContentSeed));
+  EndpointConfig cfg = config(FeedbackMode::kNone);
+  Endpoint sender(cfg, nullptr);
+  Rng rng(8);
+  sender.offer_packet(4, source.encode(rng));
+  wire::Frame ack;
+  wire::serialize_feedback(0, wire::MessageType::kAck, 31, ack);
+  EXPECT_EQ(sender.handle_frame(4, ack.bytes()), Event::kAckReceived);
+  EXPECT_TRUE(sender.peer_completed(4, 0));
+  EXPECT_FALSE(sender.reclaim_idle_convo(4, 0));
+  EXPECT_TRUE(sender.peer_completed(4, 0));
+}
+
+TEST(SessionEndpoint, ReclaimChurnKeepsTableConsistent) {
+  // Interleaved contact/reclaim over scattered ids stresses swap-remove
+  // and backward-shift deletion: every surviving peer must stay findable,
+  // every reclaimed one gone.
+  lt::LtEncoder source(lt::make_native_payloads(kK, kM, kContentSeed));
+  EndpointConfig cfg = config(FeedbackMode::kNone);
+  Endpoint sender(cfg, nullptr);
+  Rng rng(9);
+  std::vector<PeerId> live;
+  Rng chaos(0xabcdULL);
+  for (int op = 0; op < 2000; ++op) {
+    if (chaos.uniform(2) == 0 || live.empty()) {
+      const PeerId peer = chaos.uniform(1u << 30);
+      sender.offer_packet(peer, source.encode(rng));
+      if (std::find(live.begin(), live.end(), peer) == live.end()) {
+        live.push_back(peer);
+      }
+    } else {
+      const std::size_t pick =
+          chaos.uniform(static_cast<std::uint32_t>(live.size()));
+      EXPECT_TRUE(sender.reclaim_idle_convo(live[pick], 0));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    ASSERT_EQ(sender.contacted_peers(), live.size());
+  }
+  // Everyone left is still reachable.
+  for (const PeerId peer : live) {
+    EXPECT_TRUE(sender.reclaim_idle_convo(peer, 0));
+  }
+  EXPECT_EQ(sender.contacted_peers(), 0u);
 }
 
 }  // namespace

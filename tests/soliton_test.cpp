@@ -117,5 +117,85 @@ TEST_P(RobustSolitonSweep, ProbabilitiesFormDistribution) {
 INSTANTIATE_TEST_SUITE_P(K, RobustSolitonSweep,
                          ::testing::Values(2, 16, 100, 512, 2048));
 
+// --- fixed-point degree LUT -------------------------------------------------
+
+TEST(DegreeLut, MassMatchesWeightsExactly) {
+  // Not a statistical check: the LUT's fixed-point mass for every degree
+  // must equal the real-valued weight to within CDF rounding (one ulp per
+  // entry at 2⁻⁶⁴, plus double accumulation noise — far below 1e-12).
+  for (const std::size_t k : {2u, 16u, 100u, 512u}) {
+    const auto weights = robust_soliton_weights(k, {});
+    const DegreeLut lut(weights);
+    ASSERT_EQ(lut.k(), k);
+    for (std::size_t d = 1; d <= k; ++d) {
+      const double mass =
+          std::ldexp(static_cast<double>(lut.mass(d)), -64);
+      EXPECT_NEAR(mass, weights[d - 1], 1e-12) << "k=" << k << " d=" << d;
+    }
+  }
+}
+
+TEST(DegreeLut, SamplesAreAlwaysInRange) {
+  const std::size_t k = 48;
+  const DegreeLut lut(robust_soliton_weights(k, {}));
+  Rng rng(11);
+  for (int i = 0; i < 100000; ++i) {
+    const std::size_t d = lut.sample(rng);
+    ASSERT_GE(d, 1u);
+    ASSERT_LE(d, k);
+  }
+}
+
+TEST(DegreeLut, EmpiricalDistributionMatchesAliasSampler) {
+  // The satellite's contract: LUT and alias sampler draw from the same
+  // distribution (different draw sequences). Compare both empirical
+  // histograms against the analytic weights.
+  const std::size_t k = 64;
+  const std::size_t n = 400000;
+  const auto weights = robust_soliton_weights(k, {});
+  const DegreeLut lut(weights);
+  const RobustSoliton alias(k);
+  std::vector<double> lut_freq(k, 0.0);
+  std::vector<double> alias_freq(k, 0.0);
+  Rng lut_rng(21);
+  Rng alias_rng(22);
+  for (std::size_t i = 0; i < n; ++i) {
+    lut_freq[lut.sample(lut_rng) - 1] += 1.0 / static_cast<double>(n);
+    alias_freq[alias.sample(alias_rng) - 1] += 1.0 / static_cast<double>(n);
+  }
+  for (std::size_t d = 1; d <= k; ++d) {
+    const double p = weights[d - 1];
+    // ~5σ binomial tolerance at n = 4·10⁵.
+    const double tol =
+        5.0 * std::sqrt(p * (1.0 - p) / static_cast<double>(n)) + 1e-6;
+    EXPECT_NEAR(lut_freq[d - 1], p, tol) << "lut d=" << d;
+    EXPECT_NEAR(alias_freq[d - 1], p, tol) << "alias d=" << d;
+  }
+}
+
+TEST(DegreeLut, OptInThroughRobustSoliton) {
+  const RobustSoliton off(32);
+  const RobustSoliton on(32, {}, /*use_lut=*/true);
+  EXPECT_FALSE(off.uses_lut());
+  EXPECT_TRUE(on.uses_lut());
+  // The LUT path consumes exactly one 64-bit draw per sample.
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t d = on.sample(a);
+    ASSERT_GE(d, 1u);
+    ASSERT_LE(d, 32u);
+    b.next();
+    ASSERT_EQ(a.next(), b.next()) << "sample " << i
+                                  << " consumed more than one draw";
+  }
+}
+
+TEST(DegreeLut, RejectsDegenerateWeights) {
+  EXPECT_THROW(DegreeLut(std::vector<double>{}), std::logic_error);
+  EXPECT_THROW(DegreeLut(std::vector<double>{0.0, 0.0}), std::logic_error);
+  EXPECT_THROW(DegreeLut(std::vector<double>{0.5, -0.1}), std::logic_error);
+}
+
 }  // namespace
 }  // namespace ltnc::lt

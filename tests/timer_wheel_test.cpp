@@ -1,0 +1,235 @@
+// Property tests for the hierarchical timer wheel — the determinism
+// contract the event engine leans on: global time ordering, same-tick
+// FIFO, exact cancellation, and cascade correctness across level and
+// overflow boundaries, all checked against a std::multimap reference.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dissemination/timer_wheel.hpp"
+
+namespace ltnc::dissem {
+namespace {
+
+TEST(TimerWheel, StartsEmpty) {
+  TimerWheel<int> wheel;
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_EQ(wheel.size(), 0u);
+  EXPECT_EQ(wheel.now(), 0u);
+  EXPECT_FALSE(wheel.pop_next().has_value());
+}
+
+TEST(TimerWheel, PopsInTimeOrder) {
+  TimerWheel<int> wheel;
+  wheel.schedule(50, 1);
+  wheel.schedule(10, 2);
+  wheel.schedule(30, 3);
+  EXPECT_EQ(wheel.pop_next(), std::optional<int>(2));
+  EXPECT_EQ(wheel.now(), 10u);
+  EXPECT_EQ(wheel.pop_next(), std::optional<int>(3));
+  EXPECT_EQ(wheel.now(), 30u);
+  EXPECT_EQ(wheel.pop_next(), std::optional<int>(1));
+  EXPECT_EQ(wheel.now(), 50u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheel, SameTickFifoOrder) {
+  TimerWheel<int> wheel;
+  for (int i = 0; i < 100; ++i) wheel.schedule(7, i);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(wheel.pop_next(), std::optional<int>(i));
+  }
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheel, SameTickFifoSurvivesCascade) {
+  // Events scheduled far enough ahead to live in level 2 must still fire
+  // in schedule order after two cascades bring them down to level 0.
+  TimerWheel<int> wheel;
+  const std::uint64_t far = 64 * 64 * 3 + 17;
+  for (int i = 0; i < 20; ++i) wheel.schedule(far, i);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(wheel.pop_next(), std::optional<int>(i)) << "i=" << i;
+  }
+  EXPECT_EQ(wheel.now(), far);
+}
+
+TEST(TimerWheel, FifoInterleavesCascadedAndFreshEntries) {
+  // An entry cascaded down from a coarser level and one scheduled
+  // directly at level 0 share a slot: seq order (= schedule order) wins.
+  TimerWheel<int> wheel;
+  wheel.schedule(70, 1);               // level 1 at schedule time
+  ASSERT_EQ(wheel.pop_next(65), std::nullopt);  // cursor at 65, 1 cascaded
+  wheel.schedule(70, 2);               // lands in the same level-0 slot
+  EXPECT_EQ(wheel.pop_next(), std::optional<int>(1));
+  EXPECT_EQ(wheel.pop_next(), std::optional<int>(2));
+}
+
+TEST(TimerWheel, LimitStopsBeforeLaterEvents) {
+  TimerWheel<int> wheel;
+  wheel.schedule(5, 1);
+  wheel.schedule(40, 2);
+  EXPECT_EQ(wheel.pop_next(20), std::optional<int>(1));
+  EXPECT_EQ(wheel.pop_next(20), std::nullopt);
+  EXPECT_EQ(wheel.size(), 1u);
+  EXPECT_EQ(wheel.pop_next(40), std::optional<int>(2));
+}
+
+TEST(TimerWheel, LimitBelowNowIsANoop) {
+  TimerWheel<int> wheel;
+  wheel.schedule(10, 1);
+  EXPECT_EQ(wheel.pop_next(), std::optional<int>(1));
+  ASSERT_EQ(wheel.now(), 10u);
+  wheel.schedule(10, 2);
+  EXPECT_EQ(wheel.pop_next(3), std::nullopt);  // limit in the past
+  EXPECT_EQ(wheel.size(), 1u);
+  EXPECT_EQ(wheel.pop_next(10), std::optional<int>(2));
+}
+
+TEST(TimerWheel, EmptyPopAdvancesCursorToLimit) {
+  TimerWheel<int> wheel;
+  EXPECT_EQ(wheel.pop_next(1000), std::nullopt);
+  EXPECT_EQ(wheel.now(), 1000u);
+  wheel.schedule(1000, 9);  // same tick the cursor rests on
+  EXPECT_EQ(wheel.pop_next(1000), std::optional<int>(9));
+}
+
+TEST(TimerWheel, SchedulingInThePastThrows) {
+  TimerWheel<int> wheel;
+  wheel.schedule(100, 1);
+  EXPECT_EQ(wheel.pop_next(), std::optional<int>(1));
+  EXPECT_THROW(wheel.schedule(99, 2), std::logic_error);
+  EXPECT_NO_THROW(wheel.schedule(100, 3));  // current tick is fine
+}
+
+TEST(TimerWheel, CancelPreventsDelivery) {
+  TimerWheel<int> wheel;
+  const std::uint64_t a = wheel.schedule(10, 1);
+  wheel.schedule(10, 2);
+  const std::uint64_t c = wheel.schedule(20, 3);
+  EXPECT_TRUE(wheel.cancel(a));
+  EXPECT_TRUE(wheel.cancel(c));
+  EXPECT_EQ(wheel.pop_next(), std::optional<int>(2));
+  EXPECT_EQ(wheel.pop_next(), std::nullopt);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheel, CancelUnknownOrDoubleReturnsFalse) {
+  TimerWheel<int> wheel;
+  const std::uint64_t a = wheel.schedule(10, 1);
+  EXPECT_FALSE(wheel.cancel(a + 999));  // never issued
+  EXPECT_TRUE(wheel.cancel(a));
+  EXPECT_FALSE(wheel.cancel(a));  // double cancel
+  EXPECT_EQ(wheel.pop_next(), std::nullopt);
+}
+
+TEST(TimerWheel, CancelThenRescheduleSameTime) {
+  TimerWheel<int> wheel;
+  const std::uint64_t a = wheel.schedule(15, 1);
+  EXPECT_TRUE(wheel.cancel(a));
+  wheel.schedule(15, 2);  // fresh seq, same tick
+  EXPECT_EQ(wheel.pop_next(), std::optional<int>(2));
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheel, OverflowBucketEventuallyFires) {
+  // Beyond the 64^4-tick horizon the entry waits in overflow and must
+  // still come back at exactly its time.
+  TimerWheel<int> wheel;
+  const std::uint64_t kHorizon = std::uint64_t{1} << 24;
+  const std::uint64_t far = kHorizon + 12345;
+  wheel.schedule(far, 7);
+  wheel.schedule(3, 1);
+  EXPECT_EQ(wheel.pop_next(), std::optional<int>(1));
+  EXPECT_EQ(wheel.pop_next(), std::optional<int>(7));
+  EXPECT_EQ(wheel.now(), far);
+}
+
+TEST(TimerWheel, RandomizedAgainstMultimapReference) {
+  // Mixed schedule/cancel workload with deltas spanning every level and
+  // the overflow bucket; the wheel must agree with an (time, seq)-ordered
+  // reference on every pop — times AND payloads, which also nails FIFO.
+  Rng rng(0xfeedULL);
+  TimerWheel<std::uint32_t> wheel;
+  std::multimap<std::uint64_t, std::uint32_t> reference;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> live;  // seq, value
+
+  std::uint32_t next_value = 0;
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint32_t dice = rng.uniform(10);
+    if (dice < 6 || wheel.empty()) {
+      // Skewed delta mix: mostly near, some mid, a few horizon-crossing.
+      const std::uint32_t kind = rng.uniform(10);
+      std::uint64_t delta;
+      if (kind < 6) {
+        delta = rng.uniform(64);
+      } else if (kind < 9) {
+        delta = rng.uniform(64 * 64 * 8);
+      } else {
+        delta = rng.uniform(1u << 25);  // may land past the horizon
+      }
+      const std::uint64_t time = wheel.now() + delta;
+      const std::uint32_t value = next_value++;
+      const std::uint64_t seq = wheel.schedule(time, value);
+      reference.emplace(time, value);
+      live.emplace_back(seq, value);
+    } else if (dice < 8 && !live.empty()) {
+      const std::size_t pick =
+          rng.uniform(static_cast<std::uint32_t>(live.size()));
+      const auto [seq, value] = live[pick];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      ASSERT_TRUE(wheel.cancel(seq));
+      for (auto it = reference.begin(); it != reference.end(); ++it) {
+        if (it->second == value) {
+          reference.erase(it);
+          break;
+        }
+      }
+    } else {
+      const std::optional<std::uint32_t> got = wheel.pop_next();
+      if (reference.empty()) {
+        ASSERT_FALSE(got.has_value());
+      } else {
+        ASSERT_TRUE(got.has_value());
+        const auto it = reference.begin();
+        ASSERT_EQ(*got, it->second) << "time=" << it->first;
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          if (live[i].second == *got) {
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+            break;
+          }
+        }
+        reference.erase(it);
+      }
+    }
+    ASSERT_EQ(wheel.size(), reference.size());
+  }
+  // Drain everything left and confirm full agreement to the end.
+  while (!reference.empty()) {
+    const std::optional<std::uint32_t> got = wheel.pop_next();
+    ASSERT_TRUE(got.has_value());
+    ASSERT_EQ(*got, reference.begin()->second);
+    reference.erase(reference.begin());
+  }
+  EXPECT_EQ(wheel.pop_next(), std::nullopt);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheel, MovesOnlyTypesWork) {
+  // Event payloads are moved, never copied — unique_ptr must compile.
+  TimerWheel<std::unique_ptr<int>> wheel;
+  wheel.schedule(5, std::make_unique<int>(42));
+  auto got = wheel.pop_next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(**got, 42);
+}
+
+}  // namespace
+}  // namespace ltnc::dissem
