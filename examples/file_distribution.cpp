@@ -34,14 +34,22 @@
 //
 // Sharded swarm mode (the multi-core data plane):
 //   ./build/examples/file_distribution --udp-swarm-loopback
-//       [peers] [blocks] [bytes] [--shards N]
+//       [peers] [blocks] [bytes] [--shards N] [--feedback binary|none]
+//       [--stats-period MS] [--prom FILE] [--trace FILE]
 //       One seeder socket fans the file out to `peers` receiver sockets in
 //       the same process. The seeder's session layer runs as a
 //       session::ShardedEndpoint — N worker shards behind SPSC frame
 //       rings — while the main thread only moves batches of datagrams
 //       (sendmmsg/recvmmsg) between the socket and the rings.
+//       --feedback binary runs the §III-C advertise→proceed handshake per
+//       push (default: none, rateless streaming); telemetry flags attach a
+//       metrics registry (per-shard frame counters, handshake/completion
+//       latency histograms, UDP batch-size histograms), dump Prometheus
+//       text every MS ms / into FILE, and record per-shard flight-recorder
+//       traces as Chrome trace_event JSON.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -62,6 +70,10 @@
 #include "session/sharded.hpp"
 #include "store/chunker.hpp"
 #include "store/content_store.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -90,27 +102,39 @@ void flush(session::Endpoint& endpoint, net::Transport& transport,
   }
 }
 
-session::EndpointConfig receiver_config(std::size_t blocks,
-                                        std::size_t block_bytes) {
+session::EndpointConfig receiver_config(
+    std::size_t blocks, std::size_t block_bytes,
+    session::FeedbackMode feedback = session::FeedbackMode::kNone) {
   session::EndpointConfig cfg;
   cfg.k = blocks;
   cfg.payload_bytes = block_bytes;
-  // The sender streams rateless frames without a per-packet handshake;
-  // the session closes with the completion kAck (re-announced on tick so
-  // a lost ack cannot wedge the sender).
-  cfg.feedback = session::FeedbackMode::kNone;
+  // Default: the sender streams rateless frames without a per-packet
+  // handshake; the session closes with the completion kAck (re-announced
+  // on tick so a lost ack cannot wedge the sender). With kBinary the
+  // receiver additionally answers each advertise with abort/proceed.
+  cfg.feedback = feedback;
   cfg.announce_completion = true;
   cfg.response_timeout = 1;
   cfg.max_retries = 7;  // 8 announcements in total
   return cfg;
 }
 
-session::EndpointConfig sender_config(std::size_t blocks,
-                                      std::size_t block_bytes) {
+session::EndpointConfig sender_config(
+    std::size_t blocks, std::size_t block_bytes,
+    session::FeedbackMode feedback = session::FeedbackMode::kNone) {
   session::EndpointConfig cfg;
   cfg.k = blocks;
   cfg.payload_bytes = block_bytes;
-  cfg.feedback = session::FeedbackMode::kNone;
+  cfg.feedback = feedback;
+  if (feedback == session::FeedbackMode::kBinary) {
+    // Advertises await the peer's abort/proceed; over a real (if
+    // loopback) socket the answer takes a scheduler-dependent number of
+    // worker iterations, so give the retransmit timer slack — the swarm
+    // runs fine ticks (see iterations_per_tick below) for latency
+    // resolution, making these tick budgets short wall-clock spans.
+    cfg.response_timeout = 64;
+    cfg.max_retries = 8;
+  }
   return cfg;
 }
 
@@ -579,8 +603,9 @@ int run_udp_loopback_dir(const std::string& dir, std::size_t block_bytes) {
 class SwarmSeederApp final : public session::ShardApp {
  public:
   SwarmSeederApp(std::size_t blocks, std::size_t block_bytes,
-                 std::uint32_t num_peers, std::uint32_t num_shards)
-      : blocks_(blocks), block_bytes_(block_bytes) {
+                 std::uint32_t num_peers, std::uint32_t num_shards,
+                 session::FeedbackMode feedback = session::FeedbackMode::kNone)
+      : blocks_(blocks), block_bytes_(block_bytes), feedback_(feedback) {
     assigned_.resize(num_shards);
     for (std::uint32_t p = 0; p < num_peers; ++p) {
       assigned_[session::shard_of(p, 0, num_shards)].push_back(p);
@@ -595,7 +620,7 @@ class SwarmSeederApp final : public session::ShardApp {
     auto st = std::make_unique<ShardState>(blocks_, block_bytes_, shard);
     state_[shard] = std::move(st);  // distinct slots: no cross-shard writes
     return std::make_unique<session::Endpoint>(
-        sender_config(blocks_, block_bytes_), nullptr);
+        sender_config(blocks_, block_bytes_, feedback_), nullptr);
   }
 
   bool pump(std::uint32_t shard, session::Endpoint& endpoint) override {
@@ -607,6 +632,10 @@ class SwarmSeederApp final : public session::ShardApp {
         ++done;
         continue;
       }
+      // Binary feedback: one outstanding advertise per peer — offering
+      // again would supersede the in-flight handshake (and distort the
+      // latency histogram); the retransmit timer owns the slow path.
+      if (endpoint.awaiting_feedback(peer, 0)) continue;
       endpoint.offer_packet(peer, st.encoder.encode(st.rng));
       offered = true;
     }
@@ -639,13 +668,35 @@ class SwarmSeederApp final : public session::ShardApp {
 
   std::size_t blocks_;
   std::size_t block_bytes_;
+  session::FeedbackMode feedback_;
   std::vector<std::vector<session::PeerId>> assigned_;
   std::vector<std::unique_ptr<ShardState>> state_;
   std::unique_ptr<std::atomic<std::uint32_t>[]> done_;
 };
 
+/// Opt-in knobs for the swarm smoke: protocol (handshake per push) and
+/// observability (registry dump cadence and sinks).
+struct SwarmOptions {
+  session::FeedbackMode feedback = session::FeedbackMode::kNone;
+  std::uint64_t stats_period_ms = 0;  ///< 0 = no periodic dump
+  std::string prom_path;              ///< rewrite with each exposition
+  std::string trace_path;             ///< Chrome trace of all shards
+};
+
+/// One-line histogram digest ("n=.. p50=.. p99=..") or "(empty)".
+std::string histogram_digest(const telemetry::Snapshot& snap,
+                             std::string_view name) {
+  const auto* h = snap.find_histogram(name);
+  if (h == nullptr || h->count() == 0) return "(empty)";
+  std::string out = "n=" + std::to_string(h->count());
+  out += " p50=" + std::to_string(static_cast<std::uint64_t>(h->quantile(0.5)));
+  out += " p99=" + std::to_string(static_cast<std::uint64_t>(h->quantile(0.99)));
+  return out;
+}
+
 int run_udp_swarm_loopback(std::size_t peers, std::size_t blocks,
-                           std::size_t block_bytes, std::uint32_t shards) {
+                           std::size_t block_bytes, std::uint32_t shards,
+                           const SwarmOptions& opts) {
   std::string error;
 
   // One socket per receiver peer, all on loopback.
@@ -681,8 +732,28 @@ int run_udp_swarm_loopback(std::size_t peers, std::size_t blocks,
 
   std::cout << "swarm: seeding " << blocks << " blocks of " << block_bytes
             << " bytes to " << peers << " receivers over " << shards
-            << " shard(s), batched I/O "
+            << " shard(s), feedback "
+            << (opts.feedback == session::FeedbackMode::kBinary ? "binary"
+                                                                : "none")
+            << ", batched I/O "
             << (seeder->batching_active() ? "on" : "off (fallback)") << "\n";
+
+  // Telemetry: one registry shared by the shards (per-shard series, the
+  // constructor labels them) and the seeder socket. All observer-only —
+  // the transfer runs identically with LTNC_TELEMETRY=OFF.
+  telemetry::Registry registry;
+  telemetry::TransportInstruments transport_instruments;
+  transport_instruments.send_batch_frames =
+      &registry.histogram("ltnc_udp_send_batch_frames");
+  transport_instruments.recv_batch_frames =
+      &registry.histogram("ltnc_udp_recv_batch_frames");
+  transport_instruments.would_block =
+      &registry.counter("ltnc_udp_would_block_total");
+  transport_instruments.transient_errors =
+      &registry.counter("ltnc_udp_transient_errors_total");
+  transport_instruments.fatal_errors =
+      &registry.counter("ltnc_udp_fatal_errors_total");
+  seeder->set_telemetry(&transport_instruments);
 
   // Receiver fleet on its own thread: plain single-threaded sink
   // endpoints, one per socket — the peers are ordinary nodes; only the
@@ -696,7 +767,7 @@ int run_udp_swarm_loopback(std::size_t peers, std::size_t blocks,
       endpoints.reserve(peers);
       for (std::size_t p = 0; p < peers; ++p) {
         endpoints.emplace_back(
-            receiver_config(blocks, block_bytes),
+            receiver_config(blocks, block_bytes, opts.feedback),
             std::make_unique<session::LtSinkProtocol>(blocks, block_bytes));
       }
       std::vector<bool> locked(peers, false);  // feedback channel acquired
@@ -743,9 +814,20 @@ int run_udp_swarm_loopback(std::size_t peers, std::size_t blocks,
   int result = 0;
   {
     SwarmSeederApp app(blocks, block_bytes,
-                       static_cast<std::uint32_t>(peers), shards);
+                       static_cast<std::uint32_t>(peers), shards,
+                       opts.feedback);
     session::ShardedConfig cfg;
     cfg.num_shards = shards;
+    cfg.registry = &registry;
+    cfg.flight_recorder_capacity = opts.trace_path.empty() ? 0 : 8192;
+    if (opts.feedback == session::FeedbackMode::kBinary) {
+      // Finer session ticks: handshake latency is measured in the shard's
+      // tick domain, and at the default 1024 iterations/tick a loopback
+      // round trip rounds down to zero. 8 keeps tick overhead noise-level
+      // (the per-tick work is a scan of this shard's few conversations)
+      // while giving the histograms real resolution.
+      cfg.iterations_per_tick = 8;
+    }
     session::ShardedEndpoint sharded(cfg, app);
 
     constexpr std::size_t kBatch = net::UdpTransport::kMaxBatch;
@@ -758,8 +840,32 @@ int run_udp_swarm_loopback(std::size_t peers, std::size_t blocks,
     std::uint64_t idle_spins = 0;
     constexpr std::uint64_t kMaxIdleSpins = 200'000'000;
 
+    auto dump_snapshot = [&](const telemetry::Snapshot& snap) {
+      if (!opts.prom_path.empty()) {
+        std::ofstream out(opts.prom_path, std::ios::trunc);
+        if (out) telemetry::render_prometheus(out, snap);
+      } else {
+        telemetry::render_prometheus(std::cout, snap);
+      }
+    };
+    auto last_dump = std::chrono::steady_clock::now();
+    std::uint64_t loop_count = 0;
+
     while (app.peers_done() < peers) {
       bool any = false;
+
+      // Periodic exposition; the wall clock is only consulted every 4096
+      // iterations so the hot loop stays syscall-and-ring-bound.
+      if (opts.stats_period_ms != 0 && (++loop_count & 0xFFF) == 0) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now - last_dump >=
+            std::chrono::milliseconds(opts.stats_period_ms)) {
+          last_dump = now;
+          std::cout << "# --- telemetry peers_done=" << app.peers_done()
+                    << "/" << peers << " ---\n";
+          dump_snapshot(registry.snapshot());
+        }
+      }
 
       // Inbound: completion acks back into their conversation's shard.
       const std::size_t received = seeder->recv_batch(rx_frames, rx_peers);
@@ -818,6 +924,39 @@ int run_udp_swarm_loopback(std::size_t peers, std::size_t blocks,
       std::cout << "swarm: shard " << s << ": " << app.peers_assigned(s)
                 << " peers, " << report.frames_out << " frames out, "
                 << report.frames_in << " acks in\n";
+    }
+
+    // Final telemetry: one exposition of the finished state, a latency
+    // digest (tick-domain histograms aggregated across shards), and the
+    // merged flight-recorder trace. All post-stop(), so every shard's
+    // counters are quiescent.
+    const telemetry::Snapshot final_snap = registry.snapshot();
+    if (opts.stats_period_ms != 0 || !opts.prom_path.empty()) {
+      dump_snapshot(final_snap);
+    }
+    const telemetry::Snapshot agg = final_snap.aggregated();
+    std::cout << "swarm: handshake latency (ticks) "
+              << histogram_digest(agg, "ltnc_session_handshake_ticks")
+              << "; completion latency (ticks) "
+              << histogram_digest(agg, "ltnc_session_completion_ticks")
+              << "\nswarm: udp send batch "
+              << histogram_digest(agg, "ltnc_udp_send_batch_frames")
+              << " frames/call; recv batch "
+              << histogram_digest(agg, "ltnc_udp_recv_batch_frames")
+              << " frames/call\n";
+    if (!opts.trace_path.empty()) {
+      std::vector<const telemetry::FlightRecorder*> recorders;
+      for (std::uint32_t s = 0; s < shards; ++s) {
+        if (const auto* r = sharded.flight_recorder(s)) recorders.push_back(r);
+      }
+      std::ofstream out(opts.trace_path, std::ios::trunc);
+      if (out) {
+        telemetry::dump_chrome_trace_multi(out, recorders);
+        std::cout << "swarm: flight recorder trace (" << recorders.size()
+                  << " shard(s)) -> " << opts.trace_path << "\n";
+      } else {
+        std::cerr << "swarm: cannot open " << opts.trace_path << "\n";
+      }
     }
     if (rx_failed.load() || app.peers_done() < peers) result = 1;
   }
@@ -893,16 +1032,45 @@ int main(int argc, char** argv) {
                             arg_or(argc, argv, 3, 1024));
   }
   if (mode == "--udp-swarm-loopback") {
-    // Positional args first, then an optional --shards N anywhere.
+    // Positional args first, then optional flags anywhere.
     std::uint32_t shards = 0;
+    SwarmOptions opts;
     std::vector<std::size_t> positional;
+    auto flag_value = [&](int& i) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << argv[i] << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
     for (int i = 2; i < argc; ++i) {
-      if (std::string_view(argv[i]) == "--shards") {
-        if (i + 1 >= argc) {
-          std::cerr << "--shards needs a value\n";
+      const std::string_view arg = argv[i];
+      if (arg == "--shards") {
+        const char* v = flag_value(i);
+        if (v == nullptr) return 2;
+        shards = static_cast<std::uint32_t>(std::atoi(v));
+      } else if (arg == "--feedback") {
+        const char* v = flag_value(i);
+        if (v == nullptr) return 2;
+        const std::string_view value = v;
+        if (value == "binary") {
+          opts.feedback = session::FeedbackMode::kBinary;
+        } else if (value != "none") {
+          std::cerr << "--feedback expects binary|none\n";
           return 2;
         }
-        shards = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+      } else if (arg == "--stats-period") {
+        const char* v = flag_value(i);
+        if (v == nullptr) return 2;
+        opts.stats_period_ms = static_cast<std::uint64_t>(std::atoll(v));
+      } else if (arg == "--prom") {
+        const char* v = flag_value(i);
+        if (v == nullptr) return 2;
+        opts.prom_path = v;
+      } else if (arg == "--trace") {
+        const char* v = flag_value(i);
+        if (v == nullptr) return 2;
+        opts.trace_path = v;
       } else {
         positional.push_back(
             static_cast<std::size_t>(std::atoll(argv[i])));
@@ -920,10 +1088,11 @@ int main(int argc, char** argv) {
         positional.size() > 2 ? positional[2] : 512;
     if (peers == 0 || blocks == 0 || bytes == 0) {
       std::cerr << "usage: file_distribution --udp-swarm-loopback [peers] "
-                   "[blocks] [bytes] [--shards N]\n";
+                   "[blocks] [bytes] [--shards N] [--feedback binary|none] "
+                   "[--stats-period MS] [--prom FILE] [--trace FILE]\n";
       return 2;
     }
-    return run_udp_swarm_loopback(peers, blocks, bytes, shards);
+    return run_udp_swarm_loopback(peers, blocks, bytes, shards, opts);
   }
   if (mode == "--udp-loopback-dir") {
     if (argc < 3) {

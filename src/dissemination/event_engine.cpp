@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace ltnc::dissem {
 
@@ -90,6 +91,11 @@ void EventSimulation::fire_push(NodeId node) {
     // way eligibility regresses). on_payload re-arms it later.
     push_armed_[node] = false;
     --armed_pushes_;
+    LTNC_TELEMETRY(
+        if (trace_recorder_ != nullptr) {
+          trace_recorder_->record(telemetry::TracePoint::kDisarm,
+                                  wheel_.now(), node);
+        });
     return;
   }
   const std::size_t passes = core_.config().node_pushes_per_round;
@@ -105,6 +111,11 @@ void EventSimulation::on_payload(NodeId node) {
   if (push_armed_[node] || !core_.node_can_push(node)) return;
   push_armed_[node] = true;
   ++armed_pushes_;
+  LTNC_TELEMETRY(
+      if (trace_recorder_ != nullptr) {
+        trace_recorder_->record(telemetry::TracePoint::kArm, wheel_.now(),
+                                node);
+      });
   // Source-phase activations join this round's push tick (the lockstep
   // schedule visits them too). Push-phase activations wait for the next
   // round: arming them at the current tick would let infection chains

@@ -78,8 +78,18 @@ class EventSimulation final : private SimObserver {
   /// Push events currently armed (kScale's active set; n·P in kCompat
   /// during the push phase).
   std::size_t armed_pushes() const { return armed_pushes_; }
+  /// Events currently scheduled on the wheel (occupancy gauge source).
+  std::size_t wheel_size() const { return wheel_.size(); }
   SimCore& core() { return core_; }
   const SimCore& core() const { return core_; }
+
+  /// Flight-recorder hook for the engine's own transitions: kArm when a
+  /// payload lifts a node past the aggressiveness gate, kDisarm when
+  /// churn knocks it back (kScale only; ts = wheel tick). Observer-only;
+  /// pair with core().set_telemetry() for the fleet-level events.
+  void set_telemetry(telemetry::FlightRecorder* recorder) {
+    trace_recorder_ = recorder;
+  }
 
  private:
   // Sub-tick phases within a round's four wheel ticks.
@@ -117,6 +127,7 @@ class EventSimulation final : private SimObserver {
   std::size_t armed_pushes_ = 0;
   std::uint64_t events_processed_ = 0;
   bool done_ = false;
+  telemetry::FlightRecorder* trace_recorder_ = nullptr;
 };
 
 /// Convenience: configure + run in one call.

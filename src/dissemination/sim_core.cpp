@@ -5,6 +5,8 @@
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
 #include "wire/codec.hpp"
 
 namespace ltnc::dissem {
@@ -230,6 +232,13 @@ void SimCore::after_transfer(NodeId target) {
       endpoints_[target]->complete()) {
     completion_round_[target] = round_;
     ++complete_count_;
+    LTNC_TELEMETRY(
+        if (completion_rounds_ != nullptr) {
+          completion_rounds_->record(round_);
+        } if (trace_recorder_ != nullptr) {
+          trace_recorder_->record(telemetry::TracePoint::kComplete, round_,
+                                  target);
+        });
   }
 }
 
@@ -302,6 +311,10 @@ void SimCore::maybe_churn() {
     --materialized_count_;
   }
   ++churned_count_;
+  LTNC_TELEMETRY(
+      if (trace_recorder_ != nullptr) {
+        trace_recorder_->record(telemetry::TracePoint::kChurn, round_, victim);
+      });
 }
 
 void SimCore::inject_sources() {
@@ -317,6 +330,11 @@ void SimCore::inject_sources() {
       const auto target = static_cast<NodeId>(
           static_cast<std::size_t>(c) + m * rng_.uniform(subset_size));
       const CodedPacket packet = sources_[c]->next(rng_);
+      LTNC_TELEMETRY(
+          if (trace_recorder_ != nullptr) {
+            trace_recorder_->record(telemetry::TracePoint::kSourceInject,
+                                    round_, target, c);
+          });
       source_endpoint_->offer_packet(target, c, packet);
       run_transfer(*source_endpoint_, source_peer_id(), target, c);
     }

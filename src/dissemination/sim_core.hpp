@@ -216,6 +216,16 @@ class SimCore {
   // --- driver knobs --------------------------------------------------------
 
   void set_observer(SimObserver* observer) { observer_ = observer; }
+  /// Observer-only instruments: a completion-round histogram (one sample
+  /// per node, at the round it completes) and a flight recorder for
+  /// churn / source-inject / completion protocol events (ts = round
+  /// number — simulations trace in virtual time). Draws no RNG, so the
+  /// trajectory is untouched; either pointer may stay null.
+  void set_telemetry(telemetry::Histogram* completion_rounds,
+                     telemetry::FlightRecorder* recorder) {
+    completion_rounds_ = completion_rounds;
+    trace_recorder_ = recorder;
+  }
   /// Reclaim idle conversation slots after each completed transfer (both
   /// directions). Off for the lockstep/compat paths (slot churn buys
   /// nothing at small n); on for scale runs, where the source endpoint
@@ -269,6 +279,8 @@ class SimCore {
   bool blank_can_push_ = false;
   bool reclaim_convos_ = false;
   SimObserver* observer_ = nullptr;
+  telemetry::Histogram* completion_rounds_ = nullptr;
+  telemetry::FlightRecorder* trace_recorder_ = nullptr;
   std::uint64_t overheard_useful_ = 0;
   std::vector<std::size_t> completion_round_;
   std::vector<std::uint64_t> payload_receptions_;

@@ -16,11 +16,7 @@ void EpidemicSimulation::step() {
 }
 
 SimResult EpidemicSimulation::run() {
-  const SimConfig& cfg = core_.config();
-  while (core_.round() < cfg.max_rounds &&
-         !(cfg.stop_when_complete && core_.all_complete())) {
-    step();
-  }
+  while (!finished()) step();
   return core_.finalise();
 }
 

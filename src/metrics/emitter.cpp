@@ -46,11 +46,17 @@ void write_value(std::ostream& out, const RunRecord::Value& value,
   } else {
     const auto& s = std::get<std::string>(value);
     if (csv) {
-      // Commas/quotes would break the table; the schema keeps strings
-      // simple, so just assert instead of quoting-escaping.
-      LTNC_CHECK_MSG(s.find_first_of(",\"\n") == std::string::npos,
-                     "CSV string fields must not need quoting");
-      out << s;
+      if (s.find_first_of(",\"\n\r") == std::string::npos) {
+        out << s;
+      } else {
+        // RFC 4180: wrap in quotes, double any embedded quote.
+        out << '"';
+        for (const char c : s) {
+          if (c == '"') out << '"';
+          out << c;
+        }
+        out << '"';
+      }
     } else {
       write_json_string(out, s);
     }

@@ -252,7 +252,7 @@ std::size_t UdpTransport::recv_batch_fallback(std::span<wire::Frame> frames,
 
 #if defined(__linux__)
 
-std::size_t UdpTransport::send_batch(std::span<const TxItem> items) {
+std::size_t UdpTransport::send_batch_impl(std::span<const TxItem> items) {
   if (!use_mmsg_) return send_batch_fallback(items);
   std::size_t accepted = 0;
   std::size_t offset = 0;
@@ -311,7 +311,7 @@ std::size_t UdpTransport::send_batch(std::span<const TxItem> items) {
   return accepted;
 }
 
-std::size_t UdpTransport::recv_batch(std::span<wire::Frame> frames,
+std::size_t UdpTransport::recv_batch_impl(std::span<wire::Frame> frames,
                                      std::span<PeerIndex> peers) {
   if (!use_mmsg_) return recv_batch_fallback(frames, peers);
   const std::size_t want =
@@ -360,11 +360,11 @@ std::size_t UdpTransport::recv_batch(std::span<wire::Frame> frames,
 
 #else  // POSIX without the mmsg syscalls
 
-std::size_t UdpTransport::send_batch(std::span<const TxItem> items) {
+std::size_t UdpTransport::send_batch_impl(std::span<const TxItem> items) {
   return send_batch_fallback(items);
 }
 
-std::size_t UdpTransport::recv_batch(std::span<wire::Frame> frames,
+std::size_t UdpTransport::recv_batch_impl(std::span<wire::Frame> frames,
                                      std::span<PeerIndex> peers) {
   return recv_batch_fallback(frames, peers);
 }
@@ -394,8 +394,8 @@ UdpTransport::PeerIndex UdpTransport::add_peer(const std::string&,
 UdpTransport::PeerIndex UdpTransport::intern_peer(const void*) {
   return kInvalidPeer;
 }
-std::size_t UdpTransport::send_batch(std::span<const TxItem>) { return 0; }
-std::size_t UdpTransport::recv_batch(std::span<wire::Frame>,
+std::size_t UdpTransport::send_batch_impl(std::span<const TxItem>) { return 0; }
+std::size_t UdpTransport::recv_batch_impl(std::span<wire::Frame>,
                                      std::span<PeerIndex>) {
   return 0;
 }

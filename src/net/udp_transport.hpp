@@ -40,6 +40,8 @@
 #include <vector>
 
 #include "net/transport.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ltnc::net {
 
@@ -128,7 +130,17 @@ class UdpTransport final : public Transport {
   /// accepted, stopping early on EAGAIN (retry the rest later); transient
   /// per-peer errors skip that datagram and keep going. Items with an
   /// unknown peer index or over-MTU bytes are skipped and counted fatal.
-  std::size_t send_batch(std::span<const TxItem> items);
+  std::size_t send_batch(std::span<const TxItem> items) {
+    const std::size_t n = send_batch_impl(items);
+    LTNC_TELEMETRY(
+        if (telemetry_ != nullptr) {
+          if (telemetry_->send_batch_frames != nullptr && n > 0) {
+            telemetry_->send_batch_frames->record(n);
+          }
+          flush_error_telemetry();
+        });
+    return n;
+  }
 
   /// Receives up to min(frames.size(), peers.size(), kMaxBatch) datagrams
   /// in one recvmmsg syscall (fallback: a recvfrom loop). frames[i] is
@@ -136,7 +148,25 @@ class UdpTransport final : public Transport {
   /// first-sight senders are registered automatically. Returns the count
   /// received (0 on idle).
   std::size_t recv_batch(std::span<wire::Frame> frames,
-                         std::span<PeerIndex> peers);
+                         std::span<PeerIndex> peers) {
+    const std::size_t n = recv_batch_impl(frames, peers);
+    LTNC_TELEMETRY(
+        if (telemetry_ != nullptr) {
+          if (telemetry_->recv_batch_frames != nullptr && n > 0) {
+            telemetry_->recv_batch_frames->record(n);
+          }
+          flush_error_telemetry();
+        });
+    return n;
+  }
+
+  /// Attaches observer-only instruments (batch-size histograms, errno-
+  /// class counters — flushed as deltas off UdpStats at batch-call
+  /// granularity). The bundle must outlive the transport. No-op under
+  /// LTNC_TELEMETRY=OFF.
+  void set_telemetry(const telemetry::TransportInstruments* instruments) {
+    telemetry_ = instruments;
+  }
 
   /// True when the mmsg syscalls are compiled in and the kernel accepts
   /// them (flips to false at runtime on ENOSYS — the fallback loop keeps
@@ -167,11 +197,37 @@ class UdpTransport final : public Transport {
 
   /// Interns a raw sockaddr_in image; returns its dense index.
   PeerIndex intern_peer(const void* addr);
+  std::size_t send_batch_impl(std::span<const TxItem> items);
+  std::size_t recv_batch_impl(std::span<wire::Frame> frames,
+                              std::span<PeerIndex> peers);
   std::size_t send_batch_fallback(std::span<const TxItem> items);
   std::size_t recv_batch_fallback(std::span<wire::Frame> frames,
                                   std::span<PeerIndex> peers);
   /// Classifies a non-EAGAIN errno into the transient/fatal tallies.
   void count_error(int err);
+
+#if LTNC_TELEMETRY_ENABLED
+  /// Mirrors UdpStats error tallies into the registry counters as
+  /// deltas, so the syscall paths stay untouched by instrumentation.
+  void flush_error_telemetry() {
+    const std::uint64_t wb = stats_.send_would_block + stats_.recv_would_block;
+    if (telemetry_->would_block != nullptr && wb > flushed_would_block_) {
+      telemetry_->would_block->add(wb - flushed_would_block_);
+      flushed_would_block_ = wb;
+    }
+    if (telemetry_->transient_errors != nullptr &&
+        stats_.transient_errors > flushed_transient_) {
+      telemetry_->transient_errors->add(stats_.transient_errors -
+                                        flushed_transient_);
+      flushed_transient_ = stats_.transient_errors;
+    }
+    if (telemetry_->fatal_errors != nullptr &&
+        stats_.fatal_errors > flushed_fatal_) {
+      telemetry_->fatal_errors->add(stats_.fatal_errors - flushed_fatal_);
+      flushed_fatal_ = stats_.fatal_errors;
+    }
+  }
+#endif
 
   int fd_ = -1;
   std::size_t mtu_ = 0;
@@ -184,6 +240,10 @@ class UdpTransport final : public Transport {
   std::vector<std::array<unsigned char, 16>> peer_addrs_;
   std::unordered_map<std::uint64_t, PeerIndex> peer_index_;  ///< (ip,port) →
   UdpStats stats_;
+  const telemetry::TransportInstruments* telemetry_ = nullptr;
+  std::uint64_t flushed_would_block_ = 0;
+  std::uint64_t flushed_transient_ = 0;
+  std::uint64_t flushed_fatal_ = 0;
 };
 
 }  // namespace ltnc::net

@@ -4,11 +4,27 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
 #include "wire/codec.hpp"
 
 namespace ltnc::session {
 
 namespace {
+
+#if LTNC_TELEMETRY_ENABLED
+// Call sites live inside LTNC_TELEMETRY(), so these helpers (and all
+// instrument state) vanish from the hot paths in a telemetry-off build.
+constexpr Instant kNeverDelivered = ~Instant{0};
+
+void trace_event(const telemetry::SessionInstruments* t,
+                 telemetry::TracePoint point, Instant now,
+                 std::uint64_t detail) {
+  if (t != nullptr && t->recorder != nullptr) {
+    t->recorder->record(point, now, t->actor, detail);
+  }
+}
+#endif
 
 std::unique_ptr<store::ContentStore> single_content_store(
     const EndpointConfig& config, std::unique_ptr<NodeProtocol> protocol) {
@@ -361,12 +377,22 @@ void Endpoint::begin_offer(PeerId peer, ContentId content, bool generationed,
     // conversation slot still exists (created once, cold) so the peer's
     // eventual completion kAck for this content has a home — inbound
     // feedback only ever binds to conversations we opened ourselves.
-    convo(peer, content);
+    [[maybe_unused]] Convo& direct = convo(peer, content);
+    LTNC_TELEMETRY(if (!direct.ever_offered) {
+      direct.ever_offered = true;
+      direct.first_offer_at = now_;
+    });
     queue_data_direct(peer, content, generationed, generation, packet);
     ++stats_.data_sent;
+    LTNC_TELEMETRY(trace_event(telemetry_, telemetry::TracePoint::kPayloadSent,
+                               now_, content));
     return;
   }
   Convo& cv = convo(peer, content);
+  LTNC_TELEMETRY(if (!cv.ever_offered) {
+    cv.ever_offered = true;
+    cv.first_offer_at = now_;
+  });
   if (cv.out.state == Outbound::State::kAwaitFeedback) {
     ++stats_.transfers_abandoned;  // superseded by the fresher offer
   }
@@ -376,8 +402,11 @@ void Endpoint::begin_offer(PeerId peer, ContentId content, bool generationed,
   cv.out.state = Outbound::State::kAwaitFeedback;
   cv.out.retries = 0;
   cv.out.deadline = now_ + cfg_.response_timeout;
+  cv.out.offered_at = now_;
   queue_advertise(peer, content, cv.out);
   ++stats_.advertises_sent;
+  LTNC_TELEMETRY(trace_event(telemetry_, telemetry::TracePoint::kAdvertiseSent,
+                             now_, content));
 }
 
 bool Endpoint::announce_cc(PeerId peer) {
@@ -408,6 +437,11 @@ bool Endpoint::overhear(ContentId content, const CodedPacket& packet) {
   c->deliver(0, packet);
   ++stats_.overheard;
   return true;
+}
+
+bool Endpoint::awaiting_feedback(PeerId peer, ContentId content) const {
+  const Convo* cv = find_convo(peer, content);
+  return cv != nullptr && cv->out.state == Outbound::State::kAwaitFeedback;
 }
 
 bool Endpoint::peer_completed(PeerId peer, ContentId content) const {
@@ -489,6 +523,8 @@ Endpoint::Event Endpoint::on_advertise(PeerId peer,
     return Event::kNone;
   }
   ++stats_.advertises_received;
+  LTNC_TELEMETRY(trace_event(telemetry_, telemetry::TracePoint::kAdvertiseRecv,
+                             now_, rx_adv_.content));
   Convo& cv = convo(peer, rx_adv_.content);
   if (cv.in.awaiting_data && cv.in.generation == rx_adv_.generation &&
       cv.in.coeffs == rx_coeffs_) {
@@ -509,6 +545,8 @@ Endpoint::Event Endpoint::on_advertise(PeerId peer,
     cv.in.awaiting_data = false;  // any stale conversation dies with the veto
     queue_feedback(peer, rx_adv_.content, wire::MessageType::kAbort, token);
     ++stats_.aborts_sent;
+    LTNC_TELEMETRY(trace_event(telemetry_, telemetry::TracePoint::kAbortSent,
+                               now_, rx_adv_.content));
     return Event::kAborted;
   }
   // A fresh advertise supersedes whatever this (peer, content) had in
@@ -519,6 +557,8 @@ Endpoint::Event Endpoint::on_advertise(PeerId peer,
   cv.in.deadline = now_ + cfg_.response_timeout;
   queue_feedback(peer, rx_adv_.content, wire::MessageType::kProceed, token);
   ++stats_.proceeds_sent;
+  LTNC_TELEMETRY(trace_event(telemetry_, telemetry::TracePoint::kProceedSent,
+                             now_, rx_adv_.content));
   return Event::kProceeding;
 }
 
@@ -578,6 +618,27 @@ Endpoint::Event Endpoint::deliver_data(PeerId peer,
   }
   content.deliver(generation, rx_packet_);
   ++stats_.data_delivered;
+  LTNC_TELEMETRY(
+      trace_event(telemetry_, telemetry::TracePoint::kPayloadDelivered, now_,
+                  content.id());
+      if (telemetry_ != nullptr && telemetry_->completion_ticks != nullptr) {
+        // First payload anchors the content's completion-latency sample;
+        // the sample is recorded exactly once, at the completing delivery.
+        if (first_delivery_.size() < store_->size()) {
+          first_delivery_.resize(store_->size(), kNeverDelivered);
+          completion_recorded_.resize(store_->size(), 0);
+        }
+        if (first_delivery_[content_index] == kNeverDelivered) {
+          first_delivery_[content_index] = now_;
+        }
+        if (completion_recorded_[content_index] == 0 && content.complete()) {
+          completion_recorded_[content_index] = 1;
+          telemetry_->completion_ticks->record(
+              now_ - first_delivery_[content_index]);
+          trace_event(telemetry_, telemetry::TracePoint::kComplete, now_,
+                      content.id());
+        }
+      });
   maybe_announce_completion(content_index, content, peer);
   return Event::kDelivered;
 }
@@ -605,6 +666,11 @@ Endpoint::Event Endpoint::on_feedback(PeerId peer, ContentId content,
         ++stats_.duplicates_suppressed;  // stale veto of a closed transfer
         return Event::kNone;
       }
+      LTNC_TELEMETRY(
+          if (telemetry_ != nullptr && telemetry_->handshake_ticks != nullptr) {
+            telemetry_->handshake_ticks->record(now_ - cv->out.offered_at);
+          } trace_event(telemetry_, telemetry::TracePoint::kAbortRecv, now_,
+                        content));
       close_outbound(cv->out);
       ++stats_.aborts_received;
       return Event::kAbortReceived;
@@ -614,6 +680,13 @@ Endpoint::Event Endpoint::on_feedback(PeerId peer, ContentId content,
         return Event::kNone;             // went out exactly once
       }
       ++stats_.proceeds_received;
+      LTNC_TELEMETRY(
+          if (telemetry_ != nullptr && telemetry_->handshake_ticks != nullptr) {
+            telemetry_->handshake_ticks->record(now_ - cv->out.offered_at);
+          } trace_event(telemetry_, telemetry::TracePoint::kProceedRecv, now_,
+                        content);
+          trace_event(telemetry_, telemetry::TracePoint::kPayloadSent, now_,
+                      content));
       queue_data(peer, content, cv->out);
       ++stats_.data_sent;
       close_outbound(cv->out);
@@ -624,6 +697,16 @@ Endpoint::Event Endpoint::on_feedback(PeerId peer, ContentId content,
         ++stats_.duplicates_suppressed;
         return Event::kNone;
       }
+      LTNC_TELEMETRY(
+          trace_event(telemetry_, telemetry::TracePoint::kAckRecv, now_,
+                      content);
+          // Sender-side completion latency: first offer to this peer →
+          // its completion ack (the receiver-side twin is recorded in
+          // deliver_data when the local decode finishes).
+          if (telemetry_ != nullptr && telemetry_->completion_ticks != nullptr &&
+              cv->ever_offered) {
+            telemetry_->completion_ticks->record(now_ - cv->first_offer_at);
+          });
       cv->peer_done = true;
       if (!peer_completed_) {
         peer_completed_ = true;
@@ -677,6 +760,8 @@ void Endpoint::maybe_announce_completion(std::size_t content_index,
   queue_feedback(a.peer, content.id(), wire::MessageType::kAck,
                  stats_.data_delivered);
   ++stats_.completions_sent;
+  LTNC_TELEMETRY(trace_event(telemetry_, telemetry::TracePoint::kAckSent,
+                             now_, content.id()));
 }
 
 void Endpoint::tick(Instant now) {
@@ -696,6 +781,9 @@ void Endpoint::tick(Instant now) {
           cv.out.deadline = now + cfg_.response_timeout;
           queue_advertise(p.id, cv.content, cv.out);
           ++stats_.advertise_retransmits;
+          LTNC_TELEMETRY(trace_event(telemetry_,
+                                     telemetry::TracePoint::kRetransmit, now,
+                                     cv.content));
         } else {
           close_outbound(cv.out);
           ++stats_.transfers_abandoned;

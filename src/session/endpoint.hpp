@@ -66,6 +66,7 @@
 #include "session/protocols.hpp"
 #include "store/content_store.hpp"
 #include "store/swarm_scheduler.hpp"
+#include "telemetry/telemetry.hpp"
 #include "wire/codec.hpp"
 #include "wire/frame.hpp"
 
@@ -294,6 +295,21 @@ class Endpoint {
   /// property the event simulator's fleet accounting leans on.
   std::size_t contacted_peers() const { return peers_.size(); }
 
+  /// Is a transfer of `content` toward `peer` still waiting for its
+  /// abort/proceed answer? Drivers that offer packets in a loop (the
+  /// swarm seeder's pump) use this to avoid superseding — and thereby
+  /// abandoning — a conversation the handshake hasn't resolved yet.
+  bool awaiting_feedback(PeerId peer, ContentId content) const;
+
+  /// Attaches observer-only instruments (latency histograms, flight
+  /// recorder). Null pointers inside the bundle — or a null bundle —
+  /// disable the corresponding instrument; the endpoint never draws RNG
+  /// or sends bytes on their behalf. The bundle must outlive the
+  /// endpoint. No-op when built with LTNC_TELEMETRY=OFF.
+  void set_telemetry(const telemetry::SessionInstruments* instruments) {
+    telemetry_ = instruments;
+  }
+
   /// Drops the (peer, content) conversation slot if it carries no live
   /// state — no transfer awaiting feedback, no accepted advertise waiting
   /// for data, no unconsumed cc cache, no completion knowledge — and
@@ -338,6 +354,7 @@ class Endpoint {
     std::uint32_t generation = 0;
     Instant deadline = 0;
     std::uint32_t retries = 0;
+    Instant offered_at = 0;  ///< advertise time — handshake latency anchor
   };
 
   struct Inbound {
@@ -355,6 +372,8 @@ class Endpoint {
     std::vector<std::uint32_t> cc;  ///< freshest cc array from this peer
     bool cc_fresh = false;
     bool peer_done = false;  ///< peer acked this content complete
+    bool ever_offered = false;   ///< telemetry: first_offer_at is valid
+    Instant first_offer_at = 0;  ///< sender-side completion-latency anchor
   };
 
   struct Peer {
@@ -447,6 +466,12 @@ class Endpoint {
 
   Instant now_ = 0;
   double pace_tokens_ = 0.0;
+  // Observer-only instruments (may stay null forever). first_delivery_
+  // is parallel to the store: the tick a content's first payload landed,
+  // the anchor for its completion-latency sample (recorded once).
+  const telemetry::SessionInstruments* telemetry_ = nullptr;
+  std::vector<Instant> first_delivery_;
+  std::vector<std::uint8_t> completion_recorded_;
   std::uint64_t conversation_counter_ = 0;  ///< default feedback tokens
   std::optional<std::uint64_t> pending_token_;  ///< set_feedback_token
   bool peer_completed_ = false;

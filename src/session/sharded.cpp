@@ -1,6 +1,10 @@
 #include "session/sharded.hpp"
 
+#include <string>
+
 #include "common/check.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
 #include "wire/codec.hpp"
 
 namespace ltnc::session {
@@ -30,6 +34,33 @@ ShardedEndpoint::ShardedEndpoint(const ShardedConfig& config, ShardApp& app)
   for (std::uint32_t s = 0; s < config.num_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(config.ring_capacity));
   }
+  LTNC_TELEMETRY(
+      if (cfg_.registry != nullptr) {
+        drops_counter_ =
+            &cfg_.registry->counter("ltnc_shard_inbound_drops_total");
+        for (std::uint32_t s = 0; s < config.num_shards; ++s) {
+          Shard& sh = *shards_[s];
+          const std::string label = "shard=\"" + std::to_string(s) + "\"";
+          sh.frames_in_counter =
+              &cfg_.registry->counter("ltnc_shard_frames_in_total", label);
+          sh.frames_out_counter =
+              &cfg_.registry->counter("ltnc_shard_frames_out_total", label);
+          sh.in_ring_occupancy = &cfg_.registry->histogram(
+              "ltnc_shard_in_ring_occupancy_frames", label);
+          sh.instruments.handshake_ticks = &cfg_.registry->histogram(
+              "ltnc_session_handshake_ticks", label);
+          sh.instruments.completion_ticks = &cfg_.registry->histogram(
+              "ltnc_session_completion_ticks", label);
+          sh.instruments.actor = s;
+        }
+      } if (cfg_.flight_recorder_capacity > 0) {
+        for (std::uint32_t s = 0; s < config.num_shards; ++s) {
+          shards_[s]->recorder = std::make_unique<telemetry::FlightRecorder>(
+              cfg_.flight_recorder_capacity);
+          shards_[s]->instruments.recorder = shards_[s]->recorder.get();
+          shards_[s]->instruments.actor = s;
+        }
+      });
   // Rings exist before any worker starts; workers never touch each
   // other's shard.
   for (std::uint32_t s = 0; s < config.num_shards; ++s) {
@@ -50,6 +81,7 @@ bool ShardedEndpoint::route_frame(PeerId peer, wire::Frame& frame) {
   const std::uint32_t s = shard_of(peer, content, num_shards());
   if (!shards_[s]->in.try_push(peer, frame)) {
     inbound_drops_.fetch_add(1, std::memory_order_relaxed);
+    LTNC_TELEMETRY(if (drops_counter_ != nullptr) drops_counter_->add(1));
     return false;
   }
   return true;
@@ -65,11 +97,20 @@ void ShardedEndpoint::worker(std::uint32_t shard_index) {
   {
     std::unique_ptr<Endpoint> ep = app_.make_endpoint(shard_index);
     LTNC_CHECK_MSG(ep != nullptr, "ShardApp::make_endpoint returned null");
+    LTNC_TELEMETRY(
+        if (shard.instruments.handshake_ticks != nullptr ||
+            shard.instruments.recorder != nullptr) {
+          ep->set_telemetry(&shard.instruments);
+        });
     wire::Frame rx;          // inbound scratch, circulates through `in`
     wire::Frame pending;     // outbound frame awaiting ring space
     PeerId pending_peer = 0;
     bool has_pending = false;
     std::uint64_t iterations = 0;
+    // Registry counters are flushed as deltas at tick boundaries, so the
+    // per-frame path pays only the pre-existing shard atomics.
+    [[maybe_unused]] std::uint64_t flushed_in = 0;
+    [[maybe_unused]] std::uint64_t flushed_out = 0;
 
     while (!stop_.load(std::memory_order_relaxed)) {
       bool worked = false;
@@ -103,6 +144,18 @@ void ShardedEndpoint::worker(std::uint32_t shard_index) {
 
       if (++iterations % cfg_.iterations_per_tick == 0) {
         ep->tick(iterations / cfg_.iterations_per_tick);
+        LTNC_TELEMETRY(
+            if (shard.frames_in_counter != nullptr) {
+              const std::uint64_t in_now =
+                  shard.frames_in.load(std::memory_order_relaxed);
+              const std::uint64_t out_now =
+                  shard.frames_out.load(std::memory_order_relaxed);
+              shard.frames_in_counter->add(in_now - flushed_in);
+              shard.frames_out_counter->add(out_now - flushed_out);
+              flushed_in = in_now;
+              flushed_out = out_now;
+              shard.in_ring_occupancy->record(shard.in.size_approx());
+            });
       }
       if (!worked) std::this_thread::yield();
     }
@@ -149,6 +202,13 @@ SessionStats ShardedEndpoint::aggregate_stats() const {
   SessionStats total;
   for (const auto& shard : shards_) total += shard->report.stats;
   return total;
+}
+
+const telemetry::FlightRecorder* ShardedEndpoint::flight_recorder(
+    std::uint32_t shard) const {
+  LTNC_CHECK_MSG(stopped_, "flight recorders are single-writer: dump only "
+                           "after stop()");
+  return shards_[shard]->recorder.get();
 }
 
 }  // namespace ltnc::session

@@ -38,6 +38,8 @@
 #include "common/arena.hpp"
 #include "net/frame_ring.hpp"
 #include "session/endpoint.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace ltnc::session {
 
@@ -64,6 +66,18 @@ struct ShardedConfig {
   /// iteration-driven; retransmit budgets are per tick, so this sets how
   /// many drain/pump sweeps fit between timer checks).
   std::uint64_t iterations_per_tick = 1024;
+  /// Optional metrics registry (must outlive the ShardedEndpoint). When
+  /// set, every shard registers per-shard series (label shard="s"):
+  /// frames in/out counters, inbound-ring occupancy sampled each tick,
+  /// and the endpoint's handshake/completion latency histograms (in the
+  /// shard's tick domain). The I/O thread adds an inbound-drops counter.
+  /// Counter flushes are batched at tick boundaries so the per-frame hot
+  /// path gains no atomic traffic. Ignored under LTNC_TELEMETRY=OFF.
+  telemetry::Registry* registry = nullptr;
+  /// When nonzero, each shard owns a FlightRecorder of this capacity
+  /// (single-writer: only the worker records; dump after stop()). The
+  /// trace timestamp domain is the shard's tick counter.
+  std::size_t flight_recorder_capacity = 0;
 };
 
 /// The application half of a shard: builds the shard's Endpoint and feeds
@@ -143,6 +157,10 @@ class ShardedEndpoint {
   /// Session counters summed over all shards (valid after stop()).
   SessionStats aggregate_stats() const;
 
+  /// Shard `shard`'s flight recorder — null unless configured. The worker
+  /// is its only writer, so dump only after stop().
+  const telemetry::FlightRecorder* flight_recorder(std::uint32_t shard) const;
+
  private:
   struct Shard {
     net::SpscFrameRing in;   ///< I/O thread → worker
@@ -151,6 +169,15 @@ class ShardedEndpoint {
     std::atomic<std::uint64_t> frames_out{0};
     ShardReport report;  ///< written by the worker, read after join
     std::thread thread;
+
+    // Telemetry handles, filled in the constructor (cold path) before
+    // the worker starts; the worker is the only thread that updates
+    // them. All null/empty when no registry is configured.
+    telemetry::SessionInstruments instruments;
+    telemetry::Counter* frames_in_counter = nullptr;
+    telemetry::Counter* frames_out_counter = nullptr;
+    telemetry::Histogram* in_ring_occupancy = nullptr;
+    std::unique_ptr<telemetry::FlightRecorder> recorder;
 
     explicit Shard(std::size_t ring_capacity)
         : in(ring_capacity), out(ring_capacity) {}
@@ -164,6 +191,7 @@ class ShardedEndpoint {
   std::atomic<bool> stop_{false};
   bool stopped_ = false;
   std::atomic<std::uint64_t> inbound_drops_{0};
+  telemetry::Counter* drops_counter_ = nullptr;  ///< I/O-thread side
 };
 
 }  // namespace ltnc::session

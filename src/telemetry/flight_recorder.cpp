@@ -1,0 +1,76 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <bit>
+
+namespace ltnc::telemetry {
+
+std::string_view trace_point_name(TracePoint p) {
+  switch (p) {
+    case TracePoint::kAdvertiseSent: return "advertise_sent";
+    case TracePoint::kAdvertiseRecv: return "advertise_recv";
+    case TracePoint::kAbortSent: return "abort_sent";
+    case TracePoint::kAbortRecv: return "abort_recv";
+    case TracePoint::kProceedSent: return "proceed_sent";
+    case TracePoint::kProceedRecv: return "proceed_recv";
+    case TracePoint::kPayloadSent: return "payload_sent";
+    case TracePoint::kPayloadDelivered: return "payload_delivered";
+    case TracePoint::kAckSent: return "ack_sent";
+    case TracePoint::kAckRecv: return "ack_recv";
+    case TracePoint::kRetransmit: return "retransmit";
+    case TracePoint::kRingDrop: return "ring_drop";
+    case TracePoint::kChurn: return "churn";
+    case TracePoint::kSourceInject: return "source_inject";
+    case TracePoint::kArm: return "arm";
+    case TracePoint::kDisarm: return "disarm";
+    case TracePoint::kComplete: return "complete";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity) {
+  if (capacity < 8) capacity = 8;
+  ring_.resize(std::bit_ceil(capacity));
+  mask_ = ring_.size() - 1;
+}
+
+std::vector<TraceRecord> FlightRecorder::ordered() const {
+  std::vector<TraceRecord> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  // Oldest surviving record sits at head_ - n (mod capacity).
+  const std::uint64_t start = head_ - n;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) & mask_]);
+  }
+  return out;
+}
+
+namespace {
+
+void write_events(std::ostream& out, const FlightRecorder& rec, bool& first) {
+  for (const TraceRecord& r : rec.ordered()) {
+    if (!first) out << ",\n";
+    first = false;
+    out << R"({"name":")" << trace_point_name(r.point)
+        << R"(","ph":"i","ts":)" << r.ts << R"(,"pid":0,"tid":)" << r.actor
+        << R"(,"s":"t","args":{"detail":)" << r.detail << "}}";
+  }
+}
+
+}  // namespace
+
+void FlightRecorder::dump_chrome_trace(std::ostream& out) const {
+  dump_chrome_trace_multi(out, {this});
+}
+
+void dump_chrome_trace_multi(std::ostream& out,
+                             const std::vector<const FlightRecorder*>& recs) {
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const FlightRecorder* r : recs) {
+    if (r != nullptr) write_events(out, *r, first);
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace ltnc::telemetry

@@ -1,0 +1,108 @@
+// Flight recorder — an opt-in bounded ring of timestamped protocol
+// events, the "what sequence of events led to this stall" tool.
+//
+// Design constraints, in priority order:
+//   1. record() must be cheap enough to leave compiled in on hot paths
+//      when a recorder is attached: one store of a 24-byte POD plus a
+//      counter bump, no allocation, no branches beyond the mask.
+//   2. Bounded: a power-of-2 ring that silently overwrites the oldest
+//      record. A wedged run keeps exactly the last `capacity()` events —
+//      the ones that explain the wedge.
+//   3. Single-writer. The ring has no internal synchronisation; each
+//      shard/worker owns its own recorder (mirroring the per-shard
+//      metric discipline) and dump happens after the writer quiesces.
+//
+// Dump format is Chrome trace_event JSON ("ph":"i" instant events), so
+// `chrome://tracing` and Perfetto load it directly: tid = actor (node or
+// shard id), ts = the caller's clock (round number, tick count, or µs —
+// the recorder does not own a clock, by design: simulations trace in
+// virtual time, transports in wall time).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace ltnc::telemetry {
+
+/// Protocol-event vocabulary across every instrumented layer. One byte;
+/// extend freely (names live in trace_point_name()).
+enum class TracePoint : std::uint8_t {
+  // session::Endpoint conversation (§III-C advertise → feedback → data)
+  kAdvertiseSent,
+  kAdvertiseRecv,
+  kAbortSent,
+  kAbortRecv,
+  kProceedSent,
+  kProceedRecv,
+  kPayloadSent,
+  kPayloadDelivered,
+  kAckSent,
+  kAckRecv,
+  kRetransmit,
+  // ShardedEndpoint data plane
+  kRingDrop,
+  // dissem engines
+  kChurn,
+  kSourceInject,
+  kArm,
+  kDisarm,
+  kComplete,
+};
+
+std::string_view trace_point_name(TracePoint p);
+
+struct TraceRecord {
+  std::uint64_t ts = 0;      ///< caller's clock: round, tick, or µs
+  std::uint64_t detail = 0;  ///< point-specific payload (peer, content, seq…)
+  std::uint32_t actor = 0;   ///< node id / shard id — becomes the trace tid
+  TracePoint point = TracePoint::kAdvertiseSent;
+};
+
+class FlightRecorder {
+ public:
+  /// Capacity is rounded up to a power of two (min 8).
+  explicit FlightRecorder(std::size_t capacity = 4096);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void record(TracePoint point, std::uint64_t ts, std::uint32_t actor,
+              std::uint64_t detail = 0) {
+    ring_[head_ & mask_] = TraceRecord{ts, detail, actor, point};
+    ++head_;
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+  /// Records currently held (≤ capacity).
+  std::size_t size() const {
+    return head_ < ring_.size() ? head_ : ring_.size();
+  }
+  /// Total record() calls over the recorder's lifetime.
+  std::uint64_t total_recorded() const { return head_; }
+  /// Records lost to wraparound.
+  std::uint64_t dropped() const {
+    return head_ < ring_.size() ? 0 : head_ - ring_.size();
+  }
+
+  /// Surviving records, oldest first (wraparound-corrected).
+  std::vector<TraceRecord> ordered() const;
+
+  /// Chrome trace_event JSON: {"traceEvents":[...]} — loadable in
+  /// chrome://tracing or https://ui.perfetto.dev.
+  void dump_chrome_trace(std::ostream& out) const;
+
+  void clear() { head_ = 0; }
+
+ private:
+  std::vector<TraceRecord> ring_;
+  std::uint64_t mask_ = 0;
+  std::uint64_t head_ = 0;  ///< monotone write index; plain — single writer
+};
+
+/// Renders several recorders (e.g. one per shard) into one trace file.
+void dump_chrome_trace_multi(
+    std::ostream& out, const std::vector<const FlightRecorder*>& recorders);
+
+}  // namespace ltnc::telemetry

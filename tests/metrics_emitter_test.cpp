@@ -54,6 +54,19 @@ TEST(Emitter, CsvHeaderAndRows) {
   EXPECT_EQ(out.str(), "x,y\n1,2\n3,4\n");
 }
 
+TEST(Emitter, CsvEscapesStringsPerRfc4180) {
+  RunRecord a;
+  a.set("plain", std::string("hello"));
+  a.set("comma", std::string("a,b"));
+  a.set("quote", std::string("say \"hi\""));
+  a.set("newline", std::string("two\nlines"));
+  std::ostringstream out;
+  write_csv(out, {a});
+  EXPECT_EQ(out.str(),
+            "plain,comma,quote,newline\n"
+            "hello,\"a,b\",\"say \"\"hi\"\"\",\"two\nlines\"\n");
+}
+
 TEST(Emitter, CsvRejectsMismatchedLayouts) {
   RunRecord a;
   a.set("x", std::uint64_t{1});
