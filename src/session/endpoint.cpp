@@ -198,6 +198,69 @@ bool Endpoint::reclaim_idle_convo(PeerId peer, ContentId content) {
   return false;
 }
 
+bool Endpoint::expire_content(ContentId content) {
+  const std::size_t index = store_->index_of(content);
+  if (index >= store_->size()) return false;
+  // Cancel every (peer, content) conversation. A transfer still awaiting
+  // its abort/proceed is abandoned — the deadline-miss drop path — and
+  // its pending payload lease goes back to the arena via close_outbound.
+  for (std::uint32_t slot = 0; slot < peers_.size();) {
+    Peer& p = peers_[slot];
+    bool peer_removed = false;
+    for (std::size_t i = 0; i < p.convos.size(); ++i) {
+      Convo& cv = p.convos[i];
+      if (cv.content != content) continue;
+      if (cv.out.state == Outbound::State::kAwaitFeedback) {
+        ++stats_.transfers_abandoned;
+      }
+      close_outbound(cv.out);
+      if (i + 1 != p.convos.size()) cv = std::move(p.convos.back());
+      p.convos.pop_back();
+      if (p.convos.empty()) {
+        remove_peer_slot(slot);
+        peer_removed = true;
+      }
+      break;  // at most one convo per (peer, content)
+    }
+    // remove_peer_slot swap-moved a different peer into `slot`; revisit it.
+    if (!peer_removed) ++slot;
+  }
+  // Side tables are index-parallel to the store; erase in lockstep so the
+  // surviving contents keep their announce/latency state.
+  if (index < announces_.size()) {
+    announces_.erase(announces_.begin() + static_cast<std::ptrdiff_t>(index));
+  }
+  if (index < first_delivery_.size()) {
+    first_delivery_.erase(first_delivery_.begin() +
+                          static_cast<std::ptrdiff_t>(index));
+  }
+  if (index < completion_recorded_.size()) {
+    completion_recorded_.erase(completion_recorded_.begin() +
+                               static_cast<std::ptrdiff_t>(index));
+  }
+  store_->remove(content);
+  note_expired(content);
+  ++stats_.contents_expired;
+  return true;
+}
+
+void Endpoint::note_expired(ContentId content) {
+  if (expired_ring_.size() < kExpiredRing) {
+    expired_ring_.push_back(content);
+    expired_next_ = expired_ring_.size() % kExpiredRing;
+    return;
+  }
+  expired_ring_[expired_next_] = content;
+  expired_next_ = (expired_next_ + 1) % kExpiredRing;
+}
+
+bool Endpoint::recently_expired(ContentId content) const {
+  for (const ContentId id : expired_ring_) {
+    if (id == content) return true;
+  }
+  return false;
+}
+
 Endpoint::Convo& Endpoint::convo(PeerId peer, ContentId content) {
   Peer& p = peer_state(peer);
   for (Convo& cv : p.convos) {
@@ -519,6 +582,10 @@ Endpoint::Event Endpoint::on_advertise(PeerId peer,
       rx_adv_.payload_bytes != c->payload_bytes() ||
       rx_adv_.has_generation != c->generationed() ||
       (rx_adv_.has_generation && rx_adv_.generation >= c->generations())) {
+    if (c == nullptr && recently_expired(rx_adv_.content)) {
+      ++stats_.expired_frames;  // late offer for a block past its window
+      return Event::kExpired;
+    }
     ++stats_.foreign_frames;
     return Event::kNone;
   }
@@ -575,6 +642,10 @@ Endpoint::Event Endpoint::on_data(PeerId peer,
   if (c == nullptr || c->generationed() || c->protocol() == nullptr ||
       rx_packet_.coeffs.size() != c->k() ||
       rx_packet_.payload.size_bytes() != c->payload_bytes()) {
+    if (c == nullptr && recently_expired(content)) {
+      ++stats_.expired_frames;  // late payload for a block past its window
+      return Event::kExpired;
+    }
     ++stats_.foreign_frames;
     return Event::kNone;
   }
@@ -596,6 +667,10 @@ Endpoint::Event Endpoint::on_generation_data(
       generation >= c->generations() ||
       rx_packet_.coeffs.size() != c->k() ||
       rx_packet_.payload.size_bytes() != c->payload_bytes()) {
+    if (c == nullptr && recently_expired(content)) {
+      ++stats_.expired_frames;  // late payload for a block past its window
+      return Event::kExpired;
+    }
     ++stats_.foreign_frames;  // genuinely unknown content id or shape
     return Event::kNone;
   }
@@ -652,6 +727,12 @@ Endpoint::Event Endpoint::on_feedback(PeerId peer, ContentId content,
   // not grow per-peer memory — the open-port hardening rule.
   Convo* cv = find_convo(peer, content);
   if (cv == nullptr) {
+    if (recently_expired(content)) {
+      // Feedback for a conversation expire_content tore down: the
+      // answer raced the expiry, exactly one counter takes it.
+      ++stats_.expired_frames;
+      return Event::kExpired;
+    }
     if (type == wire::MessageType::kAck) {
       ++stats_.completions_received;
       ++stats_.foreign_frames;  // ack for a conversation we never had
@@ -734,6 +815,10 @@ Endpoint::Event Endpoint::on_cc(PeerId peer,
   const store::Content* c = store_->find(content);
   if (c == nullptr || c->generationed() || rx_cc_.size() != c->k()) {
     if (Convo* cv = find_convo(peer, content)) cv->cc_fresh = false;
+    if (c == nullptr && recently_expired(content)) {
+      ++stats_.expired_frames;
+      return Event::kExpired;
+    }
     ++stats_.foreign_frames;
     return Event::kNone;
   }

@@ -144,6 +144,11 @@ struct SessionStats {
   std::uint64_t foreign_frames = 0;         ///< unknown content id, wrong
                                             ///< k/m, or data at a
                                             ///< receiver-less content
+  // -- sliding-window expiry (streaming)
+  std::uint64_t contents_expired = 0;       ///< expire_content() removals
+  std::uint64_t expired_frames = 0;         ///< late frames for a recently
+                                            ///< expired content — counted
+                                            ///< here and nowhere else
   // -- totals (frames_sent counts frames popped via poll_transmit; a
   // transport may still refuse one, so socket-level tallies belong to
   // the transport glue)
@@ -177,6 +182,8 @@ struct SessionStats {
     timeouts += o.timeouts;
     malformed_frames += o.malformed_frames;
     foreign_frames += o.foreign_frames;
+    contents_expired += o.contents_expired;
+    expired_frames += o.expired_frames;
     frames_sent += o.frames_sent;
     frames_received += o.frames_received;
     bytes_sent += o.bytes_sent;
@@ -200,6 +207,7 @@ class Endpoint {
     kAckReceived,      ///< the peer announced a content's completion
     kCcReceived,       ///< the peer's cc array was cached
     kMalformed,        ///< frame failed the hardened decode
+    kExpired,          ///< late frame for a recently expired content
   };
 
   /// Single-content endpoint: `protocol` becomes the default content
@@ -309,6 +317,29 @@ class Endpoint {
   void set_telemetry(const telemetry::SessionInstruments* instruments) {
     telemetry_ = instruments;
   }
+
+  /// Unregisters `content` and tears down every trace of it: all
+  /// per-(peer, content) conversations close (a transfer still awaiting
+  /// feedback counts as abandoned), pending payload leases go back to the
+  /// arena, per-content side tables shrink, and the id enters a small
+  /// ring of recently expired contents. Frames that later address a
+  /// ringed id are counted as `expired_frames` (and nothing else) rather
+  /// than foreign — under a sliding stream window, late packets for a
+  /// block whose deadline passed are expected traffic, not port noise.
+  /// Frames already serialized into the transmit queue still depart, like
+  /// datagrams in flight. Returns false when the id was not registered.
+  ///
+  /// The ring remembers the last 128 expiries; a stream's in-flight
+  /// window is a handful of blocks, so late traffic always lands inside
+  /// it. Ids older than that degrade to foreign — accounting, not
+  /// correctness. Re-registering a ringed id works (the store is always
+  /// consulted first); stream block ids are never reused anyway.
+  bool expire_content(ContentId content);
+
+  /// The scheduler behind next_push() — exposed so an application can
+  /// install a store::PushPolicy (the streaming subsystem's
+  /// earliest-deadline-first override).
+  store::SwarmScheduler& scheduler() { return scheduler_; }
 
   /// Drops the (peer, content) conversation slot if it carries no live
   /// state — no transfer awaiting feedback, no accepted advertise waiting
@@ -434,6 +465,8 @@ class Endpoint {
   Event on_feedback(PeerId peer, ContentId content, wire::MessageType type,
                     std::uint64_t token);
   Event on_cc(PeerId peer, std::span<const std::uint8_t> bytes);
+  bool recently_expired(ContentId content) const;
+  void note_expired(ContentId content);
 
   EndpointConfig cfg_;
   std::unique_ptr<store::ContentStore> store_;
@@ -452,6 +485,13 @@ class Endpoint {
   std::size_t index_mask_ = 0;           ///< slot_of_.size() - 1 (pow 2)
   std::vector<Announce> announces_;      ///< parallel to store contents
   std::vector<std::uint8_t> eligible_;   ///< next_push scratch
+
+  // Ring of recently expired content ids (see expire_content). Bounded,
+  // so a long stream never grows it past kExpiredRing entries; the scan
+  // only runs on the cold unknown-content path.
+  static constexpr std::size_t kExpiredRing = 128;
+  std::vector<ContentId> expired_ring_;
+  std::size_t expired_next_ = 0;
 
   // Transmit queue: a recycling ring of (destination, frame) slots, the
   // SimChannel discipline — capacity circulates via poll_transmit's swap

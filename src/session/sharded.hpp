@@ -32,6 +32,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -138,6 +139,15 @@ class ShardedEndpoint {
   /// its destination peer. False when that shard has nothing pending.
   bool poll_transmit(std::uint32_t shard, PeerId& peer, wire::Frame& out);
 
+  /// Asks every shard to expire `content` at its next tick boundary (the
+  /// sliding-window drop path, fanned across cores). Expiry is cold-path
+  /// by construction — once per block per deadline — so the hand-off is a
+  /// small mutex-guarded queue per shard rather than a third ring; the
+  /// worker drains it between ticks, where it already owns the endpoint.
+  /// Shards that never registered the content ignore the request. Safe
+  /// from any thread. No-op after stop().
+  void request_expire(ContentId content);
+
   // --- lifecycle / stats ----------------------------------------------------
 
   /// Signals every worker and joins them. Frames still in flight in the
@@ -167,6 +177,13 @@ class ShardedEndpoint {
     net::SpscFrameRing out;  ///< worker → I/O thread
     std::atomic<std::uint64_t> frames_in{0};
     std::atomic<std::uint64_t> frames_out{0};
+
+    // Pending expire_content requests (any thread → worker, drained at
+    // tick boundaries). The flag lets the worker skip the lock on the
+    // overwhelmingly common empty case.
+    std::mutex expire_mu;
+    std::vector<ContentId> pending_expire;
+    std::atomic<bool> has_expire{false};
     ShardReport report;  ///< written by the worker, read after join
     std::thread thread;
 

@@ -180,6 +180,13 @@ Content& ContentStore::register_content(
   return *contents_.back();
 }
 
+bool ContentStore::remove(ContentId id) {
+  const std::size_t index = index_of(id);
+  if (index >= contents_.size()) return false;
+  contents_.erase(contents_.begin() + static_cast<std::ptrdiff_t>(index));
+  return true;
+}
+
 Content* ContentStore::find(ContentId id) {
   for (const auto& content : contents_) {
     if (content->id() == id) return content.get();

@@ -145,6 +145,15 @@ class ContentStore {
   Content& register_content(const ContentConfig& config,
                             std::unique_ptr<session::NodeProtocol> protocol);
 
+  /// Unregisters the content with wire id `id`, destroying its coding
+  /// state (and releasing its arena-leased payload storage with it) —
+  /// the streaming workload's sliding window registers and expires a
+  /// content per block. Later contents shift down one index, so callers
+  /// keeping side tables parallel to the store must erase the same index
+  /// in lockstep (the session Endpoint does). Returns false when the id
+  /// was not registered.
+  bool remove(ContentId id);
+
   /// Lookup by wire id; nullptr when unregistered (the session layer
   /// counts such frames as foreign). Linear scan — a node serves few
   /// enough contents that this beats a map, and it never allocates.

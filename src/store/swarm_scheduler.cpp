@@ -8,6 +8,7 @@ std::size_t SwarmScheduler::pick(const ContentStore& store,
                                  std::span<const std::uint8_t> eligible) {
   const std::size_t n = store.size();
   LTNC_CHECK_MSG(eligible.size() >= n, "eligibility mask too small");
+  if (policy_ != nullptr) return policy_->pick(store, eligible, cursor_);
   // Two passes from the cursor: find the minimum fill fraction, then take
   // the first index at (near) that minimum strictly cycling from the
   // cursor — equal-rarity contents rotate instead of index 0 winning

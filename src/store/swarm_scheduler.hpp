@@ -30,6 +30,22 @@
 
 namespace ltnc::store {
 
+/// Replaceable pick strategy. The default (policy-less) scheduler is
+/// rarest-first; a workload with stronger ordering constraints — the
+/// streaming subsystem's earliest-deadline-first — installs a policy and
+/// receives every pick decision instead. The shared `cursor` is the
+/// scheduler's round-robin state, handed through so a policy's tie-break
+/// composes with the default rotation discipline.
+class PushPolicy {
+ public:
+  virtual ~PushPolicy() = default;
+  /// Same contract as SwarmScheduler::pick. Must not allocate: this sits
+  /// on the per-push hot path.
+  virtual std::size_t pick(const ContentStore& store,
+                           std::span<const std::uint8_t> eligible,
+                           std::size_t& cursor) = 0;
+};
+
 class SwarmScheduler {
  public:
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
@@ -37,11 +53,18 @@ class SwarmScheduler {
   /// Picks the next content index from `store`: lowest fill_fraction
   /// among indices with a nonzero byte in `eligible` (sized store.size()),
   /// near-ties resolved round-robin from the internal cursor. Returns
-  /// kNone when nothing is eligible. Never allocates.
+  /// kNone when nothing is eligible. Never allocates. When a policy is
+  /// installed it makes the decision instead.
   std::size_t pick(const ContentStore& store,
                    std::span<const std::uint8_t> eligible);
 
+  /// Installs (or clears, with nullptr) a pick policy. Not owned; must
+  /// outlive the scheduler or be cleared before it goes.
+  void set_policy(PushPolicy* policy) { policy_ = policy; }
+  PushPolicy* policy() const { return policy_; }
+
  private:
+  PushPolicy* policy_ = nullptr;
   std::size_t cursor_ = 0;
 };
 

@@ -1,0 +1,109 @@
+#include "stream/deadline_policy.hpp"
+
+#include <limits>
+
+namespace ltnc::stream {
+
+namespace {
+constexpr Instant kNoDeadline = std::numeric_limits<Instant>::max();
+}
+
+DeadlinePolicy::Block* DeadlinePolicy::find(ContentId id) {
+  for (Block& b : blocks_) {
+    if (b.id == id) return &b;
+  }
+  return nullptr;
+}
+
+const DeadlinePolicy::Block* DeadlinePolicy::find(ContentId id) const {
+  return const_cast<DeadlinePolicy*>(this)->find(id);
+}
+
+void DeadlinePolicy::track(ContentId id, Instant deadline,
+                           std::uint32_t budget) {
+  if (Block* b = find(id)) {
+    b->deadline = deadline;
+    b->budget = budget;
+    b->pushed = 0;
+    return;
+  }
+  blocks_.push_back(Block{id, deadline, budget, 0});
+}
+
+void DeadlinePolicy::set_budget(ContentId id, std::uint32_t budget) {
+  if (Block* b = find(id)) b->budget = budget;
+}
+
+void DeadlinePolicy::untrack(ContentId id) {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].id != id) continue;
+    if (i + 1 != blocks_.size()) blocks_[i] = blocks_.back();
+    blocks_.pop_back();
+    return;
+  }
+}
+
+void DeadlinePolicy::on_push(ContentId id) {
+  if (Block* b = find(id)) ++b->pushed;
+}
+
+std::uint32_t DeadlinePolicy::pushed(ContentId id) const {
+  const Block* b = find(id);
+  return b == nullptr ? 0 : b->pushed;
+}
+
+std::uint32_t DeadlinePolicy::budget_left(ContentId id) const {
+  const Block* b = find(id);
+  if (b == nullptr) return 0;
+  if (b->budget == 0) return ~std::uint32_t{0};
+  return b->pushed >= b->budget ? 0 : b->budget - b->pushed;
+}
+
+std::size_t DeadlinePolicy::pick(const store::ContentStore& store,
+                                 std::span<const std::uint8_t> eligible,
+                                 std::size_t& cursor) {
+  const std::size_t n = store.size();
+  // Two passes, mirroring the default scheduler: find the lexicographic
+  // minimum of (deadline, fill_fraction) over admissible contents, then
+  // take the first index at that minimum cycling from the cursor so full
+  // ties rotate deterministically.
+  constexpr double kTieEpsilon = 1e-12;
+  Instant best_deadline = kNoDeadline;
+  double best_fill = 2.0;
+  bool any = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (eligible[i] == 0) continue;
+    Instant deadline = kNoDeadline;
+    if (const Block* b = find(store.at(i).id())) {
+      if (now_ > b->deadline) continue;  // overdue: pushing is wasted work
+      if (b->budget != 0 && b->pushed >= b->budget) continue;  // spent
+      deadline = b->deadline;
+    }
+    const double fill = store.at(i).fill_fraction();
+    if (deadline < best_deadline ||
+        (deadline == best_deadline && fill < best_fill)) {
+      best_deadline = deadline;
+      best_fill = fill;
+    }
+    any = true;
+  }
+  if (!any) return store::SwarmScheduler::kNone;
+  for (std::size_t step = 1; step <= n; ++step) {
+    const std::size_t i = (cursor + step) % n;
+    if (eligible[i] == 0) continue;
+    Instant deadline = kNoDeadline;
+    if (const Block* b = find(store.at(i).id())) {
+      if (now_ > b->deadline) continue;
+      if (b->budget != 0 && b->pushed >= b->budget) continue;
+      deadline = b->deadline;
+    }
+    if (deadline != best_deadline) continue;
+    if (store.at(i).fill_fraction() <= best_fill + kTieEpsilon) {
+      cursor = i;
+      return i;
+    }
+  }
+  return store::SwarmScheduler::kNone;  // unreachable: `any` was set above
+}
+
+}  // namespace ltnc::stream

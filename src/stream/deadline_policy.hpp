@@ -1,0 +1,83 @@
+// DeadlinePolicy — earliest-deadline-first push scheduling for streams.
+//
+// The swarm scheduler's rarest-first heuristic optimises long-run
+// availability; a live stream instead has a hard wall per block: a frame
+// that arrives after its block's deadline is worthless. This policy plugs
+// into store::SwarmScheduler (see PushPolicy) and reorders every push
+// decision of the owning endpoint:
+//
+//   1. overdue blocks never win — once now > deadline, pushing is wasted
+//      work; the StreamSource expires the content shortly after (the
+//      deadline-miss drop path),
+//   2. among live blocks, earliest deadline first — the block closest to
+//      its wall is always the most urgent,
+//   3. equal deadlines fall back to rarest-first (fill_fraction), then to
+//      the scheduler's round-robin cursor — the default discipline,
+//      nested inside EDF instead of replaced by it,
+//   4. per-block redundancy budgets bound how many pushes one block may
+//      consume, so a hopeless near-deadline block cannot starve blocks
+//      whose deadlines are farther out.
+//
+// Contents the policy has never heard of (no track() call) behave as if
+// their deadline were infinitely far: they lose to every tracked block
+// and keep plain rarest-first among themselves — an endpoint can mix
+// streaming and bulk contents on one scheduler.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "store/swarm_scheduler.hpp"
+
+namespace ltnc::stream {
+
+/// Stream time: the session Endpoint's abstract Instant (ticks, µs — the
+/// harness's choice, as long as one domain is used consistently).
+using Instant = std::uint64_t;
+
+class DeadlinePolicy final : public store::PushPolicy {
+ public:
+  /// Starts tracking a block: pushes for `id` are admissible until
+  /// `deadline` and capped at `budget` (0 = uncapped). Re-tracking an id
+  /// resets its state.
+  void track(ContentId id, Instant deadline, std::uint32_t budget);
+  /// Budget re-scaling as slack shrinks or the loss estimate moves; the
+  /// pushed-so-far count is preserved.
+  void set_budget(ContentId id, std::uint32_t budget);
+  void untrack(ContentId id);
+  /// Advances the policy's clock — overdue blocks stop winning picks.
+  void set_now(Instant now) { now_ = now; }
+  /// Charges one push against `id`'s budget (no-op for untracked ids).
+  void on_push(ContentId id);
+
+  bool tracked(ContentId id) const { return find(id) != nullptr; }
+  std::size_t tracked_count() const { return blocks_.size(); }
+  std::uint32_t pushed(ContentId id) const;
+  /// Remaining budget; ~0u when uncapped, 0 when exhausted or untracked.
+  std::uint32_t budget_left(ContentId id) const;
+
+  std::size_t pick(const store::ContentStore& store,
+                   std::span<const std::uint8_t> eligible,
+                   std::size_t& cursor) override;
+
+ private:
+  struct Block {
+    ContentId id = 0;
+    Instant deadline = 0;
+    std::uint32_t budget = 0;  ///< 0 = uncapped
+    std::uint32_t pushed = 0;
+  };
+
+  Block* find(ContentId id);
+  const Block* find(ContentId id) const;
+
+  // The live window is a handful of blocks; linear scans beat any map and
+  // never allocate on the pick path.
+  std::vector<Block> blocks_;
+  Instant now_ = 0;
+};
+
+}  // namespace ltnc::stream
