@@ -1,0 +1,125 @@
+#include "cache/catalog.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "store/content_store.hpp"
+
+namespace ltnc::cache {
+namespace {
+
+/// SplitMix64 finalizer — turns the fresh-content counter into a content
+/// seed that shares no low-bit structure with its neighbours.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Catalog::Catalog(const CatalogConfig& config)
+    : cfg_(config),
+      issued_(std::size_t{1} << 14, false),
+      churn_rng_(config.seed ^ 0xc2b2ae3d27d4eb4fULL) {
+  LTNC_CHECK_MSG(cfg_.contents > 0, "catalog needs contents");
+  LTNC_CHECK_MSG(cfg_.alpha >= 0.0, "zipf exponent cannot be negative");
+  slots_.reserve(cfg_.contents);
+  rank_to_slot_.resize(cfg_.contents);
+  slot_to_rank_.resize(cfg_.contents);
+  cumulative_.resize(cfg_.contents);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < cfg_.contents; ++r) {
+    const std::uint64_t seed = mix(cfg_.seed + next_seed_++);
+    slots_.push_back(Slot{mint_id(seed), seed});
+    rank_to_slot_[r] = r;
+    slot_to_rank_[r] = r;
+    sum += std::pow(static_cast<double>(r + 1), -cfg_.alpha);
+    cumulative_[r] = sum;
+  }
+}
+
+ContentId Catalog::mint_id(std::uint64_t content_seed) {
+  // Half the 14-bit space is the hard stop; the salt walk degrades to a
+  // linear probe long before that, and a catalog churning that far needs
+  // a wider id, not a luckier hash.
+  LTNC_CHECK_MSG(issued_count_ < (std::size_t{1} << 13),
+                 "catalog exhausted the content-id space");
+  for (std::uint32_t salt = 0;; ++salt) {
+    const ContentId id = store::derive_content_id(cfg_.k, cfg_.symbol_bytes,
+                                                  content_seed, salt);
+    if (issued_[id]) continue;
+    issued_[id] = true;
+    ++issued_count_;
+    return id;
+  }
+}
+
+double Catalog::weight_of(std::size_t slot) const {
+  return std::pow(static_cast<double>(slot_to_rank_[slot] + 1), -cfg_.alpha);
+}
+
+std::size_t Catalog::slot_of(ContentId id) const {
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    if (slots_[s].id == id) return s;
+  }
+  return slots_.size();
+}
+
+bool Catalog::in_head(ContentId id, double fraction) const {
+  const std::size_t slot = slot_of(id);
+  if (slot >= slots_.size()) return false;
+  const auto head = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             static_cast<double>(slots_.size()) * fraction));
+  return slot_to_rank_[slot] < head;
+}
+
+void Catalog::maybe_churn() {
+  if (cfg_.request_churn > 0.0 && churn_rng_.chance(cfg_.request_churn)) {
+    const auto n = static_cast<std::uint64_t>(slots_.size());
+    const auto a = static_cast<std::size_t>(churn_rng_.uniform(n));
+    const auto b = static_cast<std::size_t>(churn_rng_.uniform(n));
+    if (a != b) {
+      std::swap(rank_to_slot_[a], rank_to_slot_[b]);
+      slot_to_rank_[rank_to_slot_[a]] = a;
+      slot_to_rank_[rank_to_slot_[b]] = b;
+      ++rank_swaps_;
+      ++version_;
+    }
+  }
+  if (cfg_.content_churn > 0.0 && churn_rng_.chance(cfg_.content_churn)) {
+    const auto slot = static_cast<std::size_t>(
+        churn_rng_.uniform(static_cast<std::uint64_t>(slots_.size())));
+    const ContentId old_id = slots_[slot].id;
+    const std::uint64_t seed = mix(cfg_.seed + next_seed_++);
+    slots_[slot] = Slot{mint_id(seed), seed};
+    ++replacements_;
+    ++version_;
+    if (on_replace_) on_replace_(slot, old_id, slots_[slot].id);
+  }
+}
+
+std::size_t Catalog::next_request(Rng& rng) {
+  maybe_churn();
+  const double u = rng.uniform_double() * cumulative_.back();
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  const auto rank = std::min<std::size_t>(
+      static_cast<std::size_t>(it - cumulative_.begin()),
+      cumulative_.size() - 1);
+  return rank_to_slot_[rank];
+}
+
+std::vector<std::size_t> Catalog::user_trace(std::size_t requests, Rng& rng) {
+  std::vector<std::size_t> trace;
+  trace.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    trace.push_back(next_request(rng));
+  }
+  return trace;
+}
+
+}  // namespace ltnc::cache

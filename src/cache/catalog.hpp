@@ -1,0 +1,113 @@
+// cache::Catalog — a Zipf-popularity content catalog with churn.
+//
+// The workload side of the edge-caching setting: N contents whose request
+// popularity follows Zipf(α) — weight(rank r) ∝ 1/(r+1)^α — sampled per
+// user request by binary search over the cumulative weights. Two churn
+// processes perturb the catalog between requests, each fired with a
+// per-draw probability from the catalog's own fault-schedule RNG (so the
+// churn schedule is deterministic under a fixed seed regardless of which
+// user's RNG draws the request):
+//
+//   request churn   two ranks swap popularity — the same contents, a
+//                   drifting head, the signal LRU/LFU must track.
+//   content churn   a slot is replaced outright by a fresh content (new
+//                   seed, new id) — the case that retires cache entries
+//                   and session state, and the reason content-id
+//                   assignment must be collision-checked at catalog
+//                   scale: ids are minted through derive_content_id's
+//                   salt walk against every id this catalog has ever
+//                   issued, never reusing one (a late frame for a retired
+//                   id must stay attributable to the retired content).
+//
+// Slots are the stable handle (index 0..N-1, what caches and endpoints
+// key their side state by); ranks are popularity positions that churn
+// moves between slots. Weight lookups, head membership and the rank
+// permutation are all O(1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace ltnc::cache {
+
+struct CatalogConfig {
+  std::size_t contents = 256;    ///< N slots
+  double alpha = 1.0;            ///< Zipf exponent
+  std::size_t k = 32;            ///< code length of every content
+  std::size_t symbol_bytes = 64; ///< payload bytes per symbol
+  std::uint64_t seed = 1;        ///< content seeds + churn schedule
+  double request_churn = 0.0;    ///< P(rank swap) per draw
+  double content_churn = 0.0;    ///< P(slot replacement) per draw
+};
+
+class Catalog {
+ public:
+  explicit Catalog(const CatalogConfig& config);
+
+  const CatalogConfig& config() const { return cfg_; }
+  std::size_t size() const { return slots_.size(); }
+
+  ContentId id_of(std::size_t slot) const { return slots_[slot].id; }
+  std::uint64_t seed_of(std::size_t slot) const { return slots_[slot].seed; }
+  /// Popularity position of `slot` under the current ranking (0 = head).
+  std::size_t rank_of(std::size_t slot) const { return slot_to_rank_[slot]; }
+  /// Current Zipf weight of `slot` (1/(rank+1)^α, unnormalised).
+  double weight_of(std::size_t slot) const;
+  /// Slot currently holding content `id`; size() when the id is not (or
+  /// no longer) in the catalog.
+  std::size_t slot_of(ContentId id) const;
+  /// Is `id` in the top `fraction` of the current ranking? (At least one
+  /// rank always qualifies.)
+  bool in_head(ContentId id, double fraction = 0.1) const;
+
+  /// One user request: advances the churn schedule, then Zipf-samples a
+  /// rank from `rng` (the caller's — typically per-user — stream) and
+  /// returns the slot holding it.
+  std::size_t next_request(Rng& rng);
+  /// Pre-generates one user's fetch sequence (slots).
+  std::vector<std::size_t> user_trace(std::size_t requests, Rng& rng);
+
+  /// Observer for content churn: (slot, retired id, fresh id). Fired
+  /// before next_request returns, so caches/endpoints can retire the old
+  /// entry and announce the new one ahead of any request for it.
+  void set_on_replace(
+      std::function<void(std::size_t, ContentId, ContentId)> fn) {
+    on_replace_ = std::move(fn);
+  }
+
+  std::uint64_t replacements() const { return replacements_; }
+  std::uint64_t rank_swaps() const { return rank_swaps_; }
+  /// Bumped by every churn event — cheap "did anything move" check for
+  /// placement re-planning.
+  std::uint64_t version() const { return version_; }
+
+ private:
+  struct Slot {
+    ContentId id = 0;
+    std::uint64_t seed = 0;
+  };
+
+  ContentId mint_id(std::uint64_t content_seed);
+  void maybe_churn();
+
+  CatalogConfig cfg_;
+  std::vector<Slot> slots_;
+  std::vector<std::size_t> rank_to_slot_;
+  std::vector<std::size_t> slot_to_rank_;
+  std::vector<double> cumulative_;  ///< prefix sums of rank weights
+  std::vector<bool> issued_;        ///< every id ever minted (14-bit space)
+  std::size_t issued_count_ = 0;
+  Rng churn_rng_;
+  std::uint64_t next_seed_ = 0;  ///< counter behind fresh content seeds
+  std::uint64_t replacements_ = 0;
+  std::uint64_t rank_swaps_ = 0;
+  std::uint64_t version_ = 0;
+  std::function<void(std::size_t, ContentId, ContentId)> on_replace_;
+};
+
+}  // namespace ltnc::cache

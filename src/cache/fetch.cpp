@@ -1,0 +1,63 @@
+#include "cache/fetch.hpp"
+
+#include <memory>
+
+#include "common/check.hpp"
+
+namespace ltnc::cache {
+
+FetchClient::FetchClient(const session::EndpointConfig& config)
+    : ep_(config, std::make_unique<store::ContentStore>()) {}
+
+void FetchClient::open(ContentId id, std::size_t k,
+                       std::size_t payload_bytes, std::uint64_t content_seed,
+                       Instant now) {
+  LTNC_CHECK_MSG(!active_, "one outstanding request per user");
+  store::ContentConfig cc;
+  cc.id = id;
+  cc.k = k;
+  cc.payload_bytes = payload_bytes;
+  ep_.contents().register_content(
+      cc, std::make_unique<session::LtSinkProtocol>(k, payload_bytes));
+  active_ = true;
+  pending_ = FetchOutcome{};
+  pending_.id = id;
+  content_seed_ = content_seed;
+  started_ = now;
+}
+
+session::Endpoint::Event FetchClient::ingest(
+    bool from_source, std::span<const std::uint8_t> bytes, Instant now) {
+  (void)now;
+  const session::PeerId peer = from_source ? kSourcePeer : kEdgePeer;
+  const session::Endpoint::Event event = ep_.handle_frame(peer, bytes);
+  if (event == session::Endpoint::Event::kDelivered) {
+    if (from_source) {
+      ++pending_.symbols_from_source;
+    } else {
+      ++pending_.symbols_from_edge;
+    }
+  }
+  return event;
+}
+
+bool FetchClient::complete() const {
+  if (!active_) return false;
+  const store::Content* c = ep_.contents().find(pending_.id);
+  return c != nullptr && c->complete();
+}
+
+FetchOutcome FetchClient::finish(Instant now) {
+  LTNC_CHECK_MSG(active_, "no open request to finish");
+  store::Content* c = ep_.contents().find(pending_.id);
+  LTNC_DCHECK(c != nullptr);
+  pending_.completed = c->complete();
+  pending_.verified =
+      pending_.completed && c->finish_and_verify(content_seed_);
+  pending_.latency = now - started_;
+  ep_.expire_content(pending_.id);
+  active_ = false;
+  return pending_;
+}
+
+}  // namespace ltnc::cache

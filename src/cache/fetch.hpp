@@ -1,0 +1,129 @@
+// Hierarchical fetch path: user → edge cache → source fallback.
+//
+// Two pieces bridge EdgeCache into the session layer:
+//
+//   CacheEntryProtocol   a store::Content protocol wrapping one cache
+//                        entry, so an edge node is just a multi-content
+//                        session::Endpoint whose contents happen to be
+//                        cache entries. deliver() is reactive admission
+//                        (the edge absorbing symbols it relays off the
+//                        source path), emit() serves stored symbols
+//                        round-robin, and would_reject() vetoes fills the
+//                        cache no longer wants — the binary-feedback
+//                        hook, unused under pure push.
+//
+//   FetchClient          the user side: a single-peer-pair Endpoint that
+//                        opens one request at a time, ingests frames
+//                        from the edge and the source links, attributes
+//                        every delivered symbol to its tier, and resolves
+//                        the request to a FetchOutcome — full hit (edge
+//                        alone completed the decode), partial hit (edge
+//                        symbols plus source fallback; the rateless
+//                        union-completion at the heart of the scheme), or
+//                        miss (source only). Finished contents are
+//                        expired from the endpoint, so catalog-churn
+//                        stragglers land in the expired ring, not the
+//                        foreign-frame counter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "cache/edge_cache.hpp"
+#include "common/types.hpp"
+#include "session/endpoint.hpp"
+#include "session/protocols.hpp"
+#include "store/content_store.hpp"
+
+namespace ltnc::cache {
+
+using Instant = session::Instant;
+
+class CacheEntryProtocol final : public session::NodeProtocol {
+ public:
+  CacheEntryProtocol(EdgeCache& cache, ContentId id)
+      : cache_(cache), id_(id) {}
+
+  void deliver(const CodedPacket& packet) override {
+    cache_.admit(id_, packet);
+  }
+  bool would_reject(const BitVector& coeffs) const override {
+    (void)coeffs;
+    return !cache_.wants_symbols(id_);
+  }
+  std::optional<CodedPacket> emit(Rng& rng) override {
+    (void)rng;  // serving replays stored symbols; nothing is drawn
+    const CodedPacket* symbol = cache_.next_symbol(id_);
+    if (symbol == nullptr) return std::nullopt;
+    return *symbol;
+  }
+  bool can_emit() const override { return cache_.symbols_held(id_) > 0; }
+  std::size_t useful_packets() const override {
+    return cache_.symbols_held(id_);
+  }
+  /// A cache is never "complete" — it holds fractions by design.
+  bool complete() const override { return false; }
+  bool finish_and_verify(std::uint64_t content_seed) override {
+    (void)content_seed;
+    return false;
+  }
+  OpCounters decode_ops() const override { return {}; }
+  OpCounters recode_ops() const override { return {}; }
+
+ private:
+  EdgeCache& cache_;
+  ContentId id_;
+};
+
+struct FetchOutcome {
+  ContentId id = 0;
+  bool completed = false;  ///< decoder reached rank k in time
+  bool verified = false;   ///< decoded bytes match the canonical content
+  std::uint64_t symbols_from_edge = 0;
+  std::uint64_t symbols_from_source = 0;
+  Instant latency = 0;
+
+  bool full_hit() const {
+    return completed && symbols_from_source == 0 && symbols_from_edge > 0;
+  }
+  bool partial_hit() const {
+    return completed && symbols_from_source > 0 && symbols_from_edge > 0;
+  }
+};
+
+class FetchClient {
+ public:
+  /// Frame sources, as the `from_source` flag of ingest().
+  static constexpr session::PeerId kEdgePeer = 0;
+  static constexpr session::PeerId kSourcePeer = 1;
+
+  explicit FetchClient(const session::EndpointConfig& config);
+
+  /// Opens a request for one content (one outstanding request at a
+  /// time — a user fetches sequentially).
+  void open(ContentId id, std::size_t k, std::size_t payload_bytes,
+            std::uint64_t content_seed, Instant now);
+  /// Feeds one raw datagram from the edge (false) or source (true) link.
+  session::Endpoint::Event ingest(bool from_source,
+                                  std::span<const std::uint8_t> bytes,
+                                  Instant now);
+  bool active() const { return active_; }
+  bool complete() const;
+  /// Resolves the open request: verifies a completed decode end-to-end,
+  /// expires the content from the endpoint, returns the outcome.
+  FetchOutcome finish(Instant now);
+
+  session::Endpoint& endpoint() { return ep_; }
+  const session::Endpoint& endpoint() const { return ep_; }
+
+ private:
+  session::Endpoint ep_;
+  bool active_ = false;
+  FetchOutcome pending_;
+  std::uint64_t content_seed_ = 0;
+  Instant started_ = 0;
+};
+
+}  // namespace ltnc::cache

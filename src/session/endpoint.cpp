@@ -245,13 +245,14 @@ bool Endpoint::expire_content(ContentId content) {
 }
 
 void Endpoint::note_expired(ContentId content) {
-  if (expired_ring_.size() < kExpiredRing) {
+  if (cfg_.expired_ring == 0) return;  // ring disabled by config
+  if (expired_ring_.size() < cfg_.expired_ring) {
     expired_ring_.push_back(content);
-    expired_next_ = expired_ring_.size() % kExpiredRing;
+    expired_next_ = expired_ring_.size() % cfg_.expired_ring;
     return;
   }
   expired_ring_[expired_next_] = content;
-  expired_next_ = (expired_next_ + 1) % kExpiredRing;
+  expired_next_ = (expired_next_ + 1) % cfg_.expired_ring;
 }
 
 bool Endpoint::recently_expired(ContentId content) const {

@@ -107,6 +107,14 @@ struct EndpointConfig {
   double pace_tokens_per_tick = 0.0;
   /// Bucket capacity: the largest burst next_push() can emit after idling.
   double pace_burst = 8.0;
+  /// Capacity of the recently-expired content ring (see expire_content).
+  /// The default covers a stream's in-flight window many times over;
+  /// catalog workloads where hundreds of contents churn per window (an
+  /// edge cache under content replacement) should size it to the churn
+  /// horizon. 0 disables the ring entirely: late frames for expired
+  /// contents then degrade to foreign_frames — accounting, not
+  /// correctness.
+  std::size_t expired_ring = 128;
 };
 
 /// One struct unifying the counters that used to be scattered over the
@@ -486,10 +494,9 @@ class Endpoint {
   std::vector<Announce> announces_;      ///< parallel to store contents
   std::vector<std::uint8_t> eligible_;   ///< next_push scratch
 
-  // Ring of recently expired content ids (see expire_content). Bounded,
-  // so a long stream never grows it past kExpiredRing entries; the scan
-  // only runs on the cold unknown-content path.
-  static constexpr std::size_t kExpiredRing = 128;
+  // Ring of recently expired content ids (see expire_content). Bounded
+  // by cfg_.expired_ring, so a long stream never grows it past that; the
+  // scan only runs on the cold unknown-content path.
   std::vector<ContentId> expired_ring_;
   std::size_t expired_next_ = 0;
 

@@ -9,11 +9,13 @@
 namespace ltnc::store {
 
 ContentId derive_content_id(std::size_t k, std::size_t payload_bytes,
-                            std::uint64_t content_seed) {
+                            std::uint64_t content_seed, std::uint32_t salt) {
   // One FNV-1a implementation serves the whole identity scheme: hash the
   // three little-endian u64 fields with the same hash_bytes the chunker
-  // fingerprints file contents with.
-  std::uint8_t image[24];
+  // fingerprints file contents with. A nonzero salt appends a fourth
+  // field; salt 0 hashes the original 24-byte image so every id minted
+  // before the salt existed stays bit-identical.
+  std::uint8_t image[32];
   const auto put = [&image](std::size_t at, std::uint64_t v) {
     for (int b = 0; b < 8; ++b) {
       image[at + static_cast<std::size_t>(b)] =
@@ -23,7 +25,12 @@ ContentId derive_content_id(std::size_t k, std::size_t payload_bytes,
   put(0, k);
   put(8, payload_bytes);
   put(16, content_seed);
-  const std::uint64_t h = hash_bytes({image, sizeof(image)});
+  std::size_t image_bytes = 24;
+  if (salt != 0) {
+    put(24, static_cast<std::uint64_t>(salt));
+    image_bytes = 32;
+  }
+  const std::uint64_t h = hash_bytes({image, image_bytes});
   // Fold to 14 bits so the id's wire varint never exceeds 2 bytes, and
   // keep 0 reserved for the default single-content session.
   const ContentId id = (h ^ (h >> 14) ^ (h >> 28) ^ (h >> 42)) & 0x3FFF;
@@ -178,6 +185,30 @@ Content& ContentStore::register_content(
   contents_.push_back(
       std::make_unique<Content>(config, std::move(protocol)));
   return *contents_.back();
+}
+
+Content* ContentStore::try_register(const ContentConfig& config) {
+  if (find(config.id) != nullptr) return nullptr;
+  return &register_content(config);
+}
+
+Content* ContentStore::try_register(
+    const ContentConfig& config,
+    std::unique_ptr<session::NodeProtocol> protocol) {
+  if (find(config.id) != nullptr) return nullptr;
+  return &register_content(config, std::move(protocol));
+}
+
+ContentId ContentStore::derive_free_id(std::size_t k,
+                                       std::size_t payload_bytes,
+                                       std::uint64_t content_seed) const {
+  LTNC_CHECK_MSG(contents_.size() < 8192,
+                 "content-id space over half full; assign ids explicitly");
+  for (std::uint32_t salt = 0;; ++salt) {
+    const ContentId id = derive_content_id(k, payload_bytes, content_seed,
+                                           salt);
+    if (find(id) == nullptr) return id;
+  }
 }
 
 bool ContentStore::remove(ContentId id) {

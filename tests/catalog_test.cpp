@@ -1,0 +1,170 @@
+// cache::Catalog: Zipf sampling statistics, deterministic replay, and the
+// two churn processes (rank swaps, content replacement with fresh
+// collision-free ids).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "cache/catalog.hpp"
+#include "common/rng.hpp"
+
+namespace ltnc::cache {
+namespace {
+
+TEST(Catalog, ZipfRankFrequencySlopeTracksAlpha) {
+  // Empirical check of the generator itself: with α = 1.0 the log-log
+  // rank-frequency line has slope −α. Least-squares fit over the ranks
+  // with enough mass; tolerance covers sampling noise at 200k draws.
+  CatalogConfig cfg;
+  cfg.contents = 64;
+  cfg.alpha = 1.0;
+  cfg.seed = 7;
+  Catalog catalog(cfg);
+  Rng rng(123);
+  std::vector<std::uint64_t> counts(cfg.contents, 0);
+  const std::size_t draws = 200'000;
+  for (std::size_t i = 0; i < draws; ++i) {
+    const std::size_t slot = catalog.next_request(rng);
+    ++counts[catalog.rank_of(slot)];
+  }
+  // Fit log(count) = a + b·log(rank+1) over the top 32 ranks.
+  const std::size_t fit = 32;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t r = 0; r < fit; ++r) {
+    ASSERT_GT(counts[r], 0u) << "rank " << r << " never drawn";
+    const double x = std::log(static_cast<double>(r + 1));
+    const double y = std::log(static_cast<double>(counts[r]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double n = static_cast<double>(fit);
+  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  EXPECT_NEAR(slope, -cfg.alpha, 0.15);
+  // Head dominance sanity: rank 0 beats rank 31 by roughly 32×.
+  EXPECT_GT(counts[0], counts[31] * 8);
+}
+
+TEST(Catalog, FlatAlphaIsUniformish) {
+  CatalogConfig cfg;
+  cfg.contents = 16;
+  cfg.alpha = 0.0;
+  Catalog catalog(cfg);
+  Rng rng(5);
+  std::vector<std::uint64_t> counts(cfg.contents, 0);
+  for (std::size_t i = 0; i < 64'000; ++i) {
+    ++counts[catalog.next_request(rng)];
+  }
+  const double expect = 64'000.0 / 16.0;
+  for (const std::uint64_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expect, expect * 0.15);
+  }
+}
+
+TEST(Catalog, DeterministicUnderFixedSeed) {
+  CatalogConfig cfg;
+  cfg.contents = 32;
+  cfg.request_churn = 0.05;
+  cfg.content_churn = 0.02;
+  cfg.seed = 42;
+  Catalog a(cfg);
+  Catalog b(cfg);
+  Rng ra(9), rb(9);
+  const std::vector<std::size_t> ta = a.user_trace(500, ra);
+  const std::vector<std::size_t> tb = b.user_trace(500, rb);
+  EXPECT_EQ(ta, tb);
+  EXPECT_EQ(a.replacements(), b.replacements());
+  EXPECT_EQ(a.rank_swaps(), b.rank_swaps());
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    EXPECT_EQ(a.id_of(s), b.id_of(s));
+    EXPECT_EQ(a.seed_of(s), b.seed_of(s));
+  }
+  // A different catalog seed produces a different schedule.
+  CatalogConfig other = cfg;
+  other.seed = 43;
+  Catalog c(other);
+  Rng rc(9);
+  EXPECT_NE(c.user_trace(500, rc), ta);
+}
+
+TEST(Catalog, MintsDistinctIdsBeyondTheBirthdayBound) {
+  // 300 contents is far past the 14-bit fold's ~150-content birthday
+  // bound, so raw derive_content_id would collide; the salt walk at
+  // minting time must keep every id distinct.
+  CatalogConfig cfg;
+  cfg.contents = 300;
+  Catalog catalog(cfg);
+  std::set<ContentId> ids;
+  for (std::size_t s = 0; s < catalog.size(); ++s) {
+    ids.insert(catalog.id_of(s));
+  }
+  EXPECT_EQ(ids.size(), cfg.contents);
+}
+
+TEST(Catalog, RequestChurnSwapsRanksAndWeightsFollow) {
+  CatalogConfig cfg;
+  cfg.contents = 16;
+  cfg.alpha = 1.0;
+  cfg.request_churn = 1.0;  // every draw attempts a swap
+  Catalog catalog(cfg);
+  Rng rng(1);
+  const std::uint64_t v0 = catalog.version();
+  for (std::size_t i = 0; i < 64; ++i) catalog.next_request(rng);
+  EXPECT_GT(catalog.rank_swaps(), 0u);
+  EXPECT_GT(catalog.version(), v0);
+  // The rank permutation stays a bijection and weights track rank.
+  std::set<std::size_t> ranks;
+  for (std::size_t s = 0; s < catalog.size(); ++s) {
+    const std::size_t r = catalog.rank_of(s);
+    ranks.insert(r);
+    EXPECT_DOUBLE_EQ(catalog.weight_of(s),
+                     std::pow(static_cast<double>(r + 1), -cfg.alpha));
+  }
+  EXPECT_EQ(ranks.size(), catalog.size());
+}
+
+TEST(Catalog, ContentChurnReplacesSlotsWithFreshIds) {
+  CatalogConfig cfg;
+  cfg.contents = 8;
+  cfg.content_churn = 1.0;  // every draw replaces a slot
+  Catalog catalog(cfg);
+  std::set<ContentId> seen;
+  for (std::size_t s = 0; s < catalog.size(); ++s) {
+    seen.insert(catalog.id_of(s));
+  }
+  std::size_t fired = 0;
+  catalog.set_on_replace([&](std::size_t slot, ContentId old_id,
+                             ContentId new_id) {
+    ++fired;
+    EXPECT_NE(old_id, new_id);
+    EXPECT_EQ(catalog.id_of(slot), new_id);
+    // Ids are never reused: the fresh id was never in the catalog.
+    EXPECT_EQ(seen.count(new_id), 0u);
+    seen.insert(new_id);
+    EXPECT_EQ(catalog.slot_of(old_id), catalog.size());  // retired
+  });
+  Rng rng(3);
+  for (std::size_t i = 0; i < 32; ++i) catalog.next_request(rng);
+  EXPECT_EQ(fired, 32u);
+  EXPECT_EQ(catalog.replacements(), 32u);
+}
+
+TEST(Catalog, HeadMembershipFollowsTheCurrentRanking) {
+  CatalogConfig cfg;
+  cfg.contents = 20;
+  Catalog catalog(cfg);
+  // Top decile of 20 contents = 2 ranks.
+  std::size_t in = 0;
+  for (std::size_t s = 0; s < catalog.size(); ++s) {
+    if (catalog.in_head(catalog.id_of(s), 0.1)) ++in;
+  }
+  EXPECT_EQ(in, 2u);
+  EXPECT_FALSE(catalog.in_head(ContentId{0x3FFE}, 0.1));  // unknown id
+}
+
+}  // namespace
+}  // namespace ltnc::cache
